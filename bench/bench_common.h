@@ -1,0 +1,91 @@
+// Shared configuration and helpers for the paper-reproduction benchmarks.
+//
+// Each bench binary regenerates one table/figure of the paper's Section 7
+// (see DESIGN.md's experiment index). Scales are laptop-sized: ~1.5-2x
+// smaller query workloads than the paper, with virtual row counts emulating
+// the 100M-500M-row deployments.
+
+#ifndef MALIVA_BENCH_BENCH_COMMON_H_
+#define MALIVA_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "harness/setup.h"
+
+namespace maliva {
+namespace bench {
+
+/// Rows in the actual in-memory tables (virtual size = rows x scale).
+inline constexpr size_t kBenchRows = 150000;
+/// Queries per workload (the paper uses ~1400 per setting).
+inline constexpr size_t kBenchQueries = 1000;
+
+inline ScenarioConfig TwitterConfig500ms() {
+  ScenarioConfig cfg;
+  cfg.kind = DatasetKind::kTwitter;
+  cfg.num_rows = kBenchRows;
+  cfg.num_queries = kBenchQueries;
+  cfg.tau_ms = 500.0;
+  cfg.unit_cost_ms = 40.0;
+  cfg.seed = 101;
+  return cfg;
+}
+
+inline ScenarioConfig TaxiConfig1s() {
+  ScenarioConfig cfg;
+  cfg.kind = DatasetKind::kTaxi;
+  cfg.num_rows = kBenchRows;
+  cfg.num_queries = kBenchQueries;
+  cfg.tau_ms = 1000.0;
+  cfg.unit_cost_ms = 40.0;
+  cfg.seed = 202;
+  // NYC Taxi emulates 500M rows.
+  cfg.profile.cardinality_scale = 1000.0;
+  return cfg;
+}
+
+inline ScenarioConfig TpchConfig500ms() {
+  ScenarioConfig cfg;
+  cfg.kind = DatasetKind::kTpch;
+  cfg.num_rows = kBenchRows;
+  cfg.num_queries = kBenchQueries;
+  cfg.tau_ms = 500.0;
+  cfg.unit_cost_ms = 40.0;
+  cfg.seed = 303;
+  // TPC-H emulates 300M rows.
+  cfg.profile.cardinality_scale = 600.0;
+  return cfg;
+}
+
+inline ExperimentSetup::Options DefaultSetupOptions() {
+  ExperimentSetup::Options opt;
+  opt.trainer.max_iterations = 25;
+  opt.num_agent_seeds = 2;
+  return opt;
+}
+
+/// Simple wall-clock stopwatch for reporting bench phases.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void PrintBanner(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace maliva
+
+#endif  // MALIVA_BENCH_BENCH_COMMON_H_

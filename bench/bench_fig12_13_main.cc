@@ -1,0 +1,44 @@
+// Figures 12 and 13: viable query percentage (VQP) and average query
+// response time (AQRT) on Twitter / NYC Taxi / TPC-H with 8 rewrite options,
+// comparing {MDP (Accurate-QTE), MDP (Approximate-QTE), Bao, Baseline}.
+//
+// Shape targets (paper): MDP approaches >> Baseline for hard buckets, with
+// MDP (Accurate-QTE) best; Bao between Baseline and MDP on Twitter/Taxi and
+// competitive on TPC-H; VQP increases with the number of viable plans.
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+using namespace maliva;
+using namespace maliva::bench;
+
+namespace {
+
+void RunDataset(const ScenarioConfig& cfg) {
+  Stopwatch sw;
+  Scenario s = BuildScenario(cfg);
+  ExperimentSetup setup(&s, DefaultSetupOptions());
+
+  std::vector<Approach> approaches = {setup.Baseline(), setup.Bao(),
+                                      setup.MdpApproximate(), setup.MdpAccurate()};
+
+  BucketedWorkload bw = BucketQueries(*s.oracle, s.evaluation, s.options, cfg.tau_ms,
+                                      BucketScheme::Exact0To4());
+  ExperimentResult r = RunExperiment(approaches, bw);
+
+  std::string title = std::string(DatasetKindName(cfg.kind)) +
+                      " tau=" + FormatDouble(cfg.tau_ms / 1000.0, 2) + "s";
+  PrintVqpTable(r, "Fig 12: " + title);
+  PrintAqrtTable(r, "Fig 13: " + title);
+  std::printf("[%s done in %.1fs]\n", DatasetKindName(cfg.kind), sw.Seconds());
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Figures 12-13: main results, 8 rewrite options, 4 approaches");
+  RunDataset(TwitterConfig500ms());
+  RunDataset(TaxiConfig1s());
+  RunDataset(TpchConfig500ms());
+  return 0;
+}

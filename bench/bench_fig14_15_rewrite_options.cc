@@ -1,0 +1,47 @@
+// Figures 14 and 15: effect of the rewrite-option count (16 and 32 options,
+// i.e. 4 and 5 filter attributes on Twitter). The 16-option experiment also
+// includes the brute-force Naive (Approximate-QTE) comparator (Fig 14a).
+//
+// Shape targets (paper): the MDP approaches' advantage over the baseline is
+// largest for hard buckets and shrinks from 16 to 32 options (estimation gets
+// expensive relative to the budget); Naive pays full enumeration cost.
+
+#include "bench_common.h"
+
+using namespace maliva;
+using namespace maliva::bench;
+
+namespace {
+
+void RunOptions(size_t num_attrs, const BucketScheme& scheme, bool include_naive,
+                uint64_t seed) {
+  Stopwatch sw;
+  ScenarioConfig cfg = TwitterConfig500ms();
+  cfg.num_attrs = num_attrs;
+  cfg.seed = seed;
+  Scenario s = BuildScenario(cfg);
+  ExperimentSetup setup(&s, DefaultSetupOptions());
+
+  std::vector<Approach> approaches = {setup.Baseline(), setup.Bao()};
+  if (include_naive) approaches.push_back(setup.NaiveApproximate());
+  approaches.push_back(setup.MdpApproximate());
+  approaches.push_back(setup.MdpAccurate());
+
+  BucketedWorkload bw =
+      BucketQueries(*s.oracle, s.evaluation, s.options, cfg.tau_ms, scheme);
+  ExperimentResult r = RunExperiment(approaches, bw);
+
+  std::string title = std::to_string(s.options.size()) + " rewrite options (Twitter)";
+  PrintVqpTable(r, "Fig 14: " + title);
+  PrintAqrtTable(r, "Fig 15: " + title);
+  std::printf("[%zu options done in %.1fs]\n", s.options.size(), sw.Seconds());
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Figures 14-15: effect of the number of rewrite options");
+  RunOptions(4, BucketScheme::Ranges16(), /*include_naive=*/true, 404);
+  RunOptions(5, BucketScheme::Ranges32(), /*include_naive=*/false, 505);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figures 16 and 17: effect of the time budget (0.25s, 0.75s, 1.0s) on the
+// Twitter workload with 8 rewrite options.
+//
+// Shape targets (paper): MDP beats Bao/Baseline at every budget; at 0.25s the
+// Approximate-QTE agent wins (accurate estimation is too expensive); at 1.0s
+// the Accurate-QTE agent wins (the budget affords accurate estimates).
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+using namespace maliva;
+using namespace maliva::bench;
+
+namespace {
+
+void RunBudget(double tau_ms) {
+  Stopwatch sw;
+  ScenarioConfig cfg = TwitterConfig500ms();
+  cfg.tau_ms = tau_ms;
+  Scenario s = BuildScenario(cfg);
+  ExperimentSetup setup(&s, DefaultSetupOptions());
+
+  std::vector<Approach> approaches = {setup.Baseline(), setup.Bao(),
+                                      setup.MdpApproximate(), setup.MdpAccurate()};
+  BucketedWorkload bw = BucketQueries(*s.oracle, s.evaluation, s.options, tau_ms,
+                                      BucketScheme::Exact0To4());
+  ExperimentResult r = RunExperiment(approaches, bw);
+
+  std::string title = "Twitter tau=" + FormatDouble(tau_ms / 1000.0, 2) + "s";
+  PrintVqpTable(r, "Fig 16: " + title);
+  PrintAqrtTable(r, "Fig 17: " + title);
+  std::printf("[tau=%.2fs done in %.1fs]\n", tau_ms / 1000.0, sw.Seconds());
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Figures 16-17: effect of the time budget");
+  RunBudget(250.0);
+  RunBudget(750.0);
+  RunBudget(1000.0);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 18: join queries (tweets JOIN users) with 21 rewrite options —
+// 7 non-empty index subsets x 3 join methods.
+//
+// Shape targets (paper): MDP approaches beat Bao on every bucket; for 1-2
+// viable plans MDP (Approximate-QTE) serves >2x more queries than Bao and
+// cuts the average response time (paper: 0.87s -> 0.34s).
+
+#include "bench_common.h"
+
+using namespace maliva;
+using namespace maliva::bench;
+
+int main() {
+  PrintBanner("Figure 18: join queries, 21 rewrite options (Twitter, tau=0.5s)");
+  Stopwatch sw;
+  ScenarioConfig cfg = TwitterConfig500ms();
+  cfg.join = true;
+  cfg.num_users = 20000;
+  cfg.seed = 606;
+  Scenario s = BuildScenario(cfg);
+  ExperimentSetup setup(&s, DefaultSetupOptions());
+
+  std::vector<Approach> approaches = {setup.Baseline(), setup.Bao(),
+                                      setup.MdpApproximate(), setup.MdpAccurate()};
+  BucketedWorkload bw = BucketQueries(*s.oracle, s.evaluation, s.options, cfg.tau_ms,
+                                      BucketScheme::JoinRanges());
+  ExperimentResult r = RunExperiment(approaches, bw);
+
+  PrintVqpTable(r, "Fig 18a: join queries");
+  PrintAqrtTable(r, "Fig 18b: join queries");
+  std::printf("[join experiment done in %.1fs]\n", sw.Seconds());
+  return 0;
+}

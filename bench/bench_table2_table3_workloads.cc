@@ -1,0 +1,48 @@
+// Table 2: evaluation-workload sizes per viable-plan bucket (3 datasets,
+// 8 rewrite options). Table 3: the same for the 16- and 32-option Twitter
+// workloads.
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+using namespace maliva;
+using namespace maliva::bench;
+
+int main() {
+  PrintBanner("Table 2: queries per viable-plan bucket (8 rewrite options)");
+  {
+    struct Row {
+      ScenarioConfig cfg;
+    };
+    for (ScenarioConfig cfg : {TwitterConfig500ms(), TaxiConfig1s(), TpchConfig500ms()}) {
+      Stopwatch sw;
+      Scenario s = BuildScenario(cfg);
+      BucketedWorkload bw = BucketQueries(*s.oracle, s.evaluation, s.options,
+                                          cfg.tau_ms, BucketScheme::Exact0To4());
+      std::string title = std::string(DatasetKindName(cfg.kind)) +
+                          " (tau=" + FormatDouble(cfg.tau_ms / 1000.0, 2) + "s)";
+      PrintBucketSizes(bw, title);
+      std::printf("[%.1fs]\n", sw.Seconds());
+    }
+  }
+
+  PrintBanner("Table 3: Twitter workloads with 16 and 32 rewrite options");
+  {
+    ScenarioConfig cfg16 = TwitterConfig500ms();
+    cfg16.num_attrs = 4;
+    cfg16.seed = 404;
+    Scenario s16 = BuildScenario(cfg16);
+    BucketedWorkload bw16 = BucketQueries(*s16.oracle, s16.evaluation, s16.options,
+                                          cfg16.tau_ms, BucketScheme::Ranges16());
+    PrintBucketSizes(bw16, "Twitter, 16 rewrite options");
+
+    ScenarioConfig cfg32 = TwitterConfig500ms();
+    cfg32.num_attrs = 5;
+    cfg32.seed = 505;
+    Scenario s32 = BuildScenario(cfg32);
+    BucketedWorkload bw32 = BucketQueries(*s32.oracle, s32.evaluation, s32.options,
+                                          cfg32.tau_ms, BucketScheme::Ranges32());
+    PrintBucketSizes(bw32, "Twitter, 32 rewrite options");
+  }
+  return 0;
+}

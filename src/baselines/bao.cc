@@ -1,0 +1,116 @@
+#include "baselines/bao.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "engine/optimizer.h"
+
+namespace maliva {
+
+BaoQte::BaoQte(uint64_t seed) {
+  Rng rng(seed);
+  net_ = std::make_unique<Mlp>(std::vector<size_t>{kFeatureDim, 32, 32, 1}, &rng);
+}
+
+std::vector<double> BaoQte::Featurize(const Engine& engine, const Query& query,
+                                      const RewriteOption& option) const {
+  const Optimizer& opt = engine.optimizer();
+  PlanSpec spec = opt.ResolvePlan(query, option);
+  SelectivityVector sels = opt.EstimatedSelectivities(query);
+  PlanCards cards = opt.CardsFromSelectivities(query, spec, sels);
+
+  auto lg = [](double v) { return std::log1p(std::max(0.0, v)); };
+  double total_postings = 0.0;
+  for (double k : cards.postings) total_postings += k;
+
+  std::vector<double> f;
+  f.reserve(kFeatureDim);
+  f.push_back(lg(cards.scanned_rows));
+  f.push_back(lg(total_postings));
+  f.push_back(static_cast<double>(cards.postings.size()));
+  f.push_back(lg(cards.candidates));
+  f.push_back(cards.residual_preds);
+  f.push_back(lg(cards.output_rows));
+  f.push_back(static_cast<double>(std::popcount(spec.index_mask)));
+  f.push_back(cards.has_join ? 1.0 : 0.0);
+  f.push_back(cards.join_method == JoinMethod::kNestedLoop ? 1.0 : 0.0);
+  f.push_back(cards.join_method == JoinMethod::kHash ? 1.0 : 0.0);
+  f.push_back(cards.join_method == JoinMethod::kMerge ? 1.0 : 0.0);
+  f.push_back(lg(cards.build_rows + cards.nl_outer));
+  f.push_back(lg(cards.sort_rows));
+  f.push_back(lg(cards.join_output));
+  assert(f.size() == kFeatureDim);
+  return f;
+}
+
+double BaoQte::PredictMs(const std::vector<double>& features) const {
+  double log_ms = net_->Forward(features)[0];
+  return std::max(0.0, std::expm1(std::min(log_ms, 30.0)));
+}
+
+void BaoQte::Fit(const std::vector<Sample>& samples, size_t epochs, size_t batch_size,
+                 double lr, uint64_t seed) {
+  if (samples.empty()) return;
+  Rng rng(seed);
+  std::vector<size_t> order(samples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (size_t epoch = 0; epoch < epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t start = 0; start < order.size(); start += batch_size) {
+      size_t end = std::min(order.size(), start + batch_size);
+      for (size_t i = start; i < end; ++i) {
+        const Sample& s = samples[order[i]];
+        net_->AccumulateGradient(s.features, 0, std::log1p(std::max(0.0, s.true_ms)));
+      }
+      net_->Step(lr, end - start);
+    }
+  }
+}
+
+std::unique_ptr<BaoQte> BaoTrainer::Train(const std::vector<const Query*>& workload,
+                                          uint64_t seed) const {
+  auto qte = std::make_unique<BaoQte>(seed);
+  std::vector<BaoQte::Sample> samples;
+  samples.reserve(workload.size() * options_->size());
+  for (const Query* q : workload) {
+    for (const RewriteOption& option : *options_) {
+      BaoQte::Sample s;
+      s.features = qte->Featurize(*engine_, *q, option);
+      s.true_ms = oracle_->TrueTimeMs(*q, option);
+      samples.push_back(std::move(s));
+    }
+  }
+  qte->Fit(samples, /*epochs=*/60, /*batch_size=*/64, /*lr=*/1e-3, seed ^ 0x5bd1e995);
+  return qte;
+}
+
+RewriteOutcome BaoRewriter::Rewrite(const Query& query) const {
+  double planning_ms = engine_->profile().optimizer_ms;
+  size_t best = 0;
+  double best_pred = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < options_->size(); ++i) {
+    std::vector<double> f = qte_->Featurize(*engine_, query, (*options_)[i]);
+    double pred = qte_->PredictMs(f);
+    planning_ms += per_plan_cost_ms_;
+    if (pred < best_pred) {
+      best_pred = pred;
+      best = i;
+    }
+  }
+
+  RewriteOutcome out;
+  out.option_index = best;
+  out.planning_ms = planning_ms;
+  out.exec_ms = oracle_->TrueTimeMs(query, (*options_)[best]);
+  out.total_ms = out.planning_ms + out.exec_ms;
+  out.viable = out.total_ms <= tau_ms_;
+  out.steps = options_->size();
+  out.quality = 1.0;
+  return out;
+}
+
+}  // namespace maliva

@@ -1,0 +1,51 @@
+#include "baselines/baseline.h"
+
+#include <limits>
+
+namespace maliva {
+
+RewriteOutcome BaselineRewriter::Rewrite(const Query& query) const {
+  RewriteOutcome out;
+  out.option_index = 0;
+  out.planning_ms = engine_->profile().optimizer_ms;
+  RewriteOption unhinted;  // optimizer resolves everything
+  out.exec_ms = oracle_->TrueTimeMs(query, unhinted);
+  out.total_ms = out.planning_ms + out.exec_ms;
+  out.viable = out.total_ms <= tau_ms_;
+  out.steps = 0;
+  out.quality = 1.0;
+  return out;
+}
+
+RewriteOutcome NaiveRewriter::Rewrite(const Query& query) const {
+  QteContext ctx = renv_.MakeContext(query);
+  SelectivityCache cache(ctx.NumSlots());
+
+  double planning_ms = 0.0;
+  size_t best = 0;
+  double best_est = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < renv_.options->size(); ++i) {
+    QteEstimate est = renv_.qte->Estimate(ctx, i, &cache);
+    planning_ms += est.cost_ms;
+    if (est.est_ms < best_est) {
+      best_est = est.est_ms;
+      best = i;
+    }
+  }
+
+  RewriteOutcome out;
+  out.option_index = best;
+  out.planning_ms = planning_ms;
+  const RewriteOption& option = (*renv_.options)[best];
+  out.exec_ms = renv_.oracle->TrueTimeMs(query, option);
+  out.total_ms = out.planning_ms + out.exec_ms;
+  out.viable = out.total_ms <= renv_.env_config.tau_ms;
+  out.steps = renv_.options->size();
+  out.approximate = option.IsApproximate();
+  if (renv_.env_config.quality != nullptr) {
+    out.quality = renv_.env_config.quality->Quality(query, option);
+  }
+  return out;
+}
+
+}  // namespace maliva

@@ -1,0 +1,49 @@
+// The no-rewriting baseline: trust the backend optimizer.
+
+#ifndef MALIVA_BASELINES_BASELINE_H_
+#define MALIVA_BASELINES_BASELINE_H_
+
+#include <string>
+
+#include "core/rewriter.h"
+
+namespace maliva {
+
+/// Sends the original query with no hints; the engine's cost-based optimizer
+/// (with its estimation errors) picks the physical plan.
+class BaselineRewriter {
+ public:
+  BaselineRewriter(const Engine* engine, const PlanTimeOracle* oracle, double tau_ms)
+      : engine_(engine), oracle_(oracle), tau_ms_(tau_ms) {}
+
+  const std::string& name() const { return name_; }
+
+  RewriteOutcome Rewrite(const Query& query) const;
+
+ private:
+  const Engine* engine_;
+  const PlanTimeOracle* oracle_;
+  double tau_ms_;
+  std::string name_ = "Baseline";
+};
+
+/// Brute-force middleware: estimates every rewritten query with the QTE
+/// (paying all estimation costs), then picks the fastest estimate. This is
+/// the paper's "Naive (Approximate-QTE)" comparator.
+class NaiveRewriter {
+ public:
+  NaiveRewriter(RewriterEnv renv, std::string name)
+      : renv_(std::move(renv)), name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  RewriteOutcome Rewrite(const Query& query) const;
+
+ private:
+  RewriterEnv renv_;
+  std::string name_;
+};
+
+}  // namespace maliva
+
+#endif  // MALIVA_BASELINES_BASELINE_H_

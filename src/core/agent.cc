@@ -1,0 +1,60 @@
+#include "core/agent.h"
+
+#include <cassert>
+#include <limits>
+
+namespace maliva {
+
+QAgent::QAgent(size_t num_actions, uint64_t seed) : num_actions_(num_actions) {
+  assert(num_actions > 0);
+  size_t input = 2 * num_actions + 1;
+  // Two hidden layers "with sizes similar to the input layer" (paper Fig 8).
+  std::vector<size_t> sizes = {input, input, input, num_actions};
+  Rng rng(seed);
+  online_ = std::make_unique<Mlp>(sizes, &rng);
+  target_ = std::make_unique<Mlp>(sizes, &rng);
+  target_->CopyParamsFrom(*online_);
+}
+
+std::vector<double> QAgent::QValues(const std::vector<double>& features) const {
+  return online_->Forward(features);
+}
+
+std::vector<double> QAgent::TargetQValues(const std::vector<double>& features) const {
+  return target_->Forward(features);
+}
+
+size_t QAgent::GreedyAction(const std::vector<double>& features,
+                            const std::vector<uint8_t>& valid) const {
+  std::vector<double> q = QValues(features);
+  assert(q.size() == valid.size());
+  size_t best = valid.size();
+  double best_q = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < q.size(); ++i) {
+    if (valid[i] && q[i] > best_q) {
+      best_q = q[i];
+      best = i;
+    }
+  }
+  assert(best < valid.size() && "no valid action");
+  return best;
+}
+
+size_t QAgent::EpsilonGreedyAction(const std::vector<double>& features,
+                                   const std::vector<uint8_t>& valid, double epsilon,
+                                   Rng* rng) const {
+  if (rng->Bernoulli(epsilon)) {
+    std::vector<size_t> candidates;
+    for (size_t i = 0; i < valid.size(); ++i) {
+      if (valid[i]) candidates.push_back(i);
+    }
+    assert(!candidates.empty());
+    return candidates[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(candidates.size()) - 1))];
+  }
+  return GreedyAction(features, valid);
+}
+
+void QAgent::SyncTarget() { target_->CopyParamsFrom(*online_); }
+
+}  // namespace maliva

@@ -1,0 +1,101 @@
+#include "core/query_env.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace maliva {
+
+QueryEnv::QueryEnv(const QteContext* ctx, QueryTimeEstimator* qte,
+                   const EnvConfig& config, double initial_elapsed_ms,
+                   const SelectivityCache* inherited_cache)
+    : ctx_(ctx),
+      qte_(qte),
+      config_(config),
+      cache_(inherited_cache != nullptr ? *inherited_cache
+                                        : SelectivityCache(ctx->NumSlots())),
+      elapsed_ms_(initial_elapsed_ms) {
+  size_t n = ctx_->options->size();
+  assert(n > 0);
+  est_cost_.resize(n);
+  est_time_.assign(n, 0.0);
+  explored_.assign(n, 0);
+  valid_.assign(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    est_cost_[i] = qte_->PredictCostMs(*ctx_, i, cache_);
+  }
+}
+
+std::vector<double> QueryEnv::Features() const {
+  size_t n = est_cost_.size();
+  std::vector<double> f;
+  f.reserve(2 * n + 1);
+  double tau = config_.tau_ms;
+  auto clip = [](double v) { return std::clamp(v, 0.0, 5.0); };
+  f.push_back(clip(elapsed_ms_ / tau));
+  for (size_t i = 0; i < n; ++i) f.push_back(clip(est_cost_[i] / tau));
+  for (size_t i = 0; i < n; ++i) f.push_back(clip(est_time_[i] / tau));
+  return f;
+}
+
+bool QueryEnv::HasRemaining() const {
+  return std::any_of(valid_.begin(), valid_.end(), [](uint8_t v) { return v != 0; });
+}
+
+double QueryEnv::TerminalReward(size_t decided) {
+  terminal_ = true;
+  decided_ = decided;
+  const RewriteOption& option = (*ctx_->options)[decided];
+  decided_exec_ms_ = ctx_->oracle->TrueTimeMs(*ctx_->query, option);
+
+  double tau = config_.tau_ms;
+  double efficiency = (tau - elapsed_ms_ - decided_exec_ms_) / tau;
+  double reward = efficiency;
+  if (config_.beta < 1.0) {
+    assert(config_.quality != nullptr);
+    double q = config_.quality->Quality(*ctx_->query, option);
+    reward = config_.beta * efficiency + (1.0 - config_.beta) * q;
+  }
+  return std::max(config_.reward_floor, reward);
+}
+
+double QueryEnv::Step(size_t action) {
+  assert(!terminal_);
+  assert(action < valid_.size() && valid_[action] != 0);
+
+  QteEstimate est = qte_->Estimate(*ctx_, action, &cache_);
+  elapsed_ms_ += est.cost_ms + config_.agent_decision_ms;
+  est_time_[action] = est.est_ms;
+  explored_[action] = 1;
+  valid_[action] = 0;
+  est_cost_[action] = est.cost_ms;  // actual paid cost replaces the estimate
+  ++steps_;
+
+  // Shared selectivities just got cheaper for the unexplored RQs (Fig 7).
+  for (size_t i = 0; i < est_cost_.size(); ++i) {
+    if (!explored_[i]) est_cost_[i] = qte_->PredictCostMs(*ctx_, i, cache_);
+  }
+
+  double tau = config_.tau_ms;
+
+  // Case 1: the estimate suggests this RQ is viable — commit to it.
+  if (elapsed_ms_ + est.est_ms <= tau) {
+    return TerminalReward(action);
+  }
+  // Cases 2 and 3: budget exhausted or options exhausted — commit to the
+  // fastest RQ estimated so far.
+  if (elapsed_ms_ >= tau || !HasRemaining()) {
+    size_t best = action;
+    double best_ms = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < est_time_.size(); ++i) {
+      if (explored_[i] && est_time_[i] < best_ms) {
+        best_ms = est_time_[i];
+        best = i;
+      }
+    }
+    return TerminalReward(best);
+  }
+  return 0.0;  // intermediate state: no reward yet
+}
+
+}  // namespace maliva

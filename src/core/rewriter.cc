@@ -1,0 +1,110 @@
+#include "core/rewriter.h"
+
+#include <cassert>
+#include <limits>
+
+namespace maliva {
+
+QteContext RewriterEnv::MakeContext(const Query& query) const {
+  QteContext ctx;
+  ctx.query = &query;
+  ctx.options = options;
+  ctx.engine = engine;
+  ctx.oracle = oracle;
+  ctx.unit_cost_ms = qte_params.unit_cost_ms;
+  ctx.model_eval_ms = qte_params.model_eval_ms;
+  ctx.qte_sample_rate = qte_params.qte_sample_rate;
+  ctx.jitter_seed = qte_params.jitter_seed;
+  return ctx;
+}
+
+namespace {
+
+RewriteOutcome OutcomeFromEnv(const RewriterEnv& renv, const QueryEnv& env,
+                              const Query& query) {
+  RewriteOutcome out;
+  out.option_index = env.decided_option();
+  out.planning_ms = env.elapsed_ms();
+  out.exec_ms = env.decided_exec_ms();
+  out.total_ms = out.planning_ms + out.exec_ms;
+  out.viable = out.total_ms <= renv.env_config.tau_ms;
+  out.steps = env.steps();
+  const RewriteOption& option = (*renv.options)[out.option_index];
+  out.approximate = option.IsApproximate();
+  if (renv.env_config.quality != nullptr) {
+    out.quality = renv.env_config.quality->Quality(query, option);
+  }
+  return out;
+}
+
+}  // namespace
+
+RewriteOutcome RunGreedyEpisode(const RewriterEnv& renv, const QAgent& agent,
+                                const Query& query) {
+  QteContext ctx = renv.MakeContext(query);
+  QueryEnv env(&ctx, renv.qte, renv.env_config);
+  while (!env.terminal()) {
+    size_t action = agent.GreedyAction(env.Features(), env.valid_actions());
+    env.Step(action);
+  }
+  return OutcomeFromEnv(renv, env, query);
+}
+
+RewriteOutcome MalivaRewriter::Rewrite(const Query& query) const {
+  return RunGreedyEpisode(renv_, *agent_, query);
+}
+
+RewriteOutcome TwoStageRewriter::Rewrite(const Query& query) const {
+  // Stage 1: exact (hint-only) options.
+  QteContext ctx1 = exact_.MakeContext(query);
+  QueryEnv env1(&ctx1, exact_.qte, exact_.env_config);
+  double tau = exact_.env_config.tau_ms;
+
+  while (!env1.terminal()) {
+    size_t action = exact_agent_->GreedyAction(env1.Features(), env1.valid_actions());
+    env1.Step(action);
+  }
+  // Why did stage 1 terminate?
+  bool exhausted = !env1.HasRemaining();
+  bool out_of_time = env1.elapsed_ms() >= tau;
+  bool found_viable = env1.elapsed_ms() + env1.decided_exec_ms() <= tau;
+
+  if (found_viable || out_of_time || !exhausted) {
+    RewriteOutcome out = OutcomeFromEnv(exact_, env1, query);
+    return out;
+  }
+
+  // Track stage 1's best known RQ as a fallback.
+  size_t stage1_best = env1.decided_option();
+  double stage1_best_est = env1.decided_exec_ms();
+
+  // Stage 2: approximate options, resuming the elapsed budget and the
+  // collected selectivities.
+  QteContext ctx2 = approx_.MakeContext(query);
+  QueryEnv env2(&ctx2, approx_.qte, approx_.env_config, env1.elapsed_ms(),
+                &env1.cache());
+  while (!env2.terminal()) {
+    size_t action = approx_agent_->GreedyAction(env2.Features(), env2.valid_actions());
+    env2.Step(action);
+  }
+
+  RewriteOutcome out2 = OutcomeFromEnv(approx_, env2, query);
+  // If stage 2 also failed to find a viable RQ, fall back to whichever option
+  // (stage 1 exact best vs stage 2 decision) is faster.
+  if (!out2.viable && stage1_best_est < out2.exec_ms) {
+    RewriteOutcome out;
+    out.option_index = stage1_best;
+    out.planning_ms = env2.elapsed_ms();
+    out.exec_ms = stage1_best_est;
+    out.total_ms = out.planning_ms + out.exec_ms;
+    out.viable = out.total_ms <= tau;
+    out.steps = env1.steps() + env2.steps();
+    out.quality = 1.0;  // exact option
+    out.approximate = false;
+    return out;
+  }
+  out2.steps += env1.steps();
+  return out2;
+}
+
+}  // namespace maliva

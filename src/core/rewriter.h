@@ -1,0 +1,100 @@
+// Online query rewriting with a trained agent (Algorithm 2) and the
+// quality-aware one-stage / two-stage rewriters (Section 6.2).
+
+#ifndef MALIVA_CORE_REWRITER_H_
+#define MALIVA_CORE_REWRITER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/agent.h"
+#include "core/query_env.h"
+
+namespace maliva {
+
+/// QTE cost parameters shared by one experiment.
+struct QteParams {
+  double unit_cost_ms = 40.0;
+  double model_eval_ms = 2.0;
+  double qte_sample_rate = 0.01;
+  uint64_t jitter_seed = 17;
+};
+
+/// Outcome of rewriting (and notionally executing) one query.
+struct RewriteOutcome {
+  size_t option_index = 0;   ///< chosen RQ within the rewriter's option set
+  double planning_ms = 0.0;  ///< middleware planning time (s.E at decision)
+  double exec_ms = 0.0;      ///< actual execution time of the chosen RQ
+  double total_ms = 0.0;     ///< planning + execution
+  bool viable = false;       ///< total <= tau
+  size_t steps = 0;          ///< QTE invocations made
+  double quality = 1.0;      ///< F(r(Q), r(RQ)); 1 for exact rewrites
+  bool approximate = false;  ///< chosen option used an approximation rule
+};
+
+/// Shared plumbing for rewriters: builds per-query QTE contexts.
+struct RewriterEnv {
+  const Engine* engine = nullptr;
+  const PlanTimeOracle* oracle = nullptr;
+  const RewriteOptionSet* options = nullptr;
+  QueryTimeEstimator* qte = nullptr;
+  QteParams qte_params;
+  EnvConfig env_config;
+
+  QteContext MakeContext(const Query& query) const;
+};
+
+/// Runs one greedy planning episode with `agent`; shared by the online
+/// rewriter and the trainer's convergence evaluation.
+RewriteOutcome RunGreedyEpisode(const RewriterEnv& renv, const QAgent& agent,
+                                const Query& query);
+
+/// Maliva's MDP-based online rewriter (Algorithm 2).
+class MalivaRewriter {
+ public:
+  MalivaRewriter(RewriterEnv renv, const QAgent* agent, std::string name)
+      : renv_(std::move(renv)), agent_(agent), name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const RewriterEnv& renv() const { return renv_; }
+
+  RewriteOutcome Rewrite(const Query& query) const;
+
+ private:
+  RewriterEnv renv_;
+  const QAgent* agent_;
+  std::string name_;
+};
+
+/// Two-stage quality-aware rewriter (Fig 11): run the hint-only agent first;
+/// if it exhausts all exact RQs without finding a viable one and budget
+/// remains, hand over to the quality-aware agent on the approximate options,
+/// carrying over elapsed time and collected selectivities.
+class TwoStageRewriter {
+ public:
+  /// `exact` covers hint-only options, `approx` the hint x approximation
+  /// combinations (exclusive of exact options).
+  TwoStageRewriter(RewriterEnv exact, const QAgent* exact_agent, RewriterEnv approx,
+                   const QAgent* approx_agent, std::string name)
+      : exact_(std::move(exact)),
+        exact_agent_(exact_agent),
+        approx_(std::move(approx)),
+        approx_agent_(approx_agent),
+        name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  RewriteOutcome Rewrite(const Query& query) const;
+
+ private:
+  RewriterEnv exact_;
+  const QAgent* exact_agent_;
+  RewriterEnv approx_;
+  const QAgent* approx_agent_;
+  std::string name_;
+};
+
+}  // namespace maliva
+
+#endif  // MALIVA_CORE_REWRITER_H_

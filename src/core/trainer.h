@@ -1,0 +1,61 @@
+// Offline training of the MDP agent (Algorithm 1).
+
+#ifndef MALIVA_CORE_TRAINER_H_
+#define MALIVA_CORE_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/agent.h"
+#include "core/rewriter.h"
+#include "ml/epsilon.h"
+#include "ml/replay_buffer.h"
+
+namespace maliva {
+
+/// Hyper-parameters of deep Q-learning.
+struct TrainerConfig {
+  double learning_rate = 1e-3;
+  size_t batch_size = 64;
+  size_t replay_capacity = 50000;
+  double gamma = 1.0;            ///< episodes are short; undiscounted
+  size_t max_iterations = 40;    ///< passes over the workload
+  double convergence_tol = 0.01; ///< stop when reward improves < 1%
+  size_t patience = 3;           ///< consecutive non-improving iterations
+  double eps_start = 1.0;
+  double eps_end = 0.05;
+  double eps_decay_steps = 1500;
+  size_t target_sync_every = 64; ///< gradient updates between target syncs
+  uint64_t seed = 1234;
+};
+
+/// Trains a Q-network agent for one workload + RO set + QTE combination.
+class Trainer {
+ public:
+  struct IterationStats {
+    double mean_reward = 0.0;   ///< greedy-policy mean terminal reward
+    double greedy_vqp = 0.0;    ///< greedy-policy viable-query fraction
+    size_t episodes = 0;
+  };
+
+  Trainer(RewriterEnv renv, TrainerConfig config)
+      : renv_(std::move(renv)), config_(config) {}
+
+  /// Runs Algorithm 1 over `workload` until convergence or max iterations.
+  std::unique_ptr<QAgent> Train(const std::vector<const Query*>& workload);
+
+  const std::vector<IterationStats>& history() const { return history_; }
+
+ private:
+  /// Greedy evaluation of `agent` over the workload (convergence signal).
+  IterationStats Evaluate(const QAgent& agent,
+                          const std::vector<const Query*>& workload) const;
+
+  RewriterEnv renv_;
+  TrainerConfig config_;
+  std::vector<IterationStats> history_;
+};
+
+}  // namespace maliva
+
+#endif  // MALIVA_CORE_TRAINER_H_

@@ -1,0 +1,28 @@
+// Heatmap binning: BIN_ID(point) over a query's visualization viewport.
+
+#ifndef MALIVA_ENGINE_BINNING_H_
+#define MALIVA_ENGINE_BINNING_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "storage/value.h"
+
+namespace maliva {
+
+/// Maps a point to a heatmap bin id over `viewport` with `bins` cells per
+/// axis. Points outside the viewport clamp to the border cells (the frontend
+/// clips them; the engine just needs a stable id).
+inline int64_t BinId(const GeoPoint& p, const BoundingBox& viewport, int bins) {
+  double w = std::max(1e-12, viewport.Width());
+  double h = std::max(1e-12, viewport.Height());
+  int64_t bx = static_cast<int64_t>((p.lon - viewport.min_lon) / w * bins);
+  int64_t by = static_cast<int64_t>((p.lat - viewport.min_lat) / h * bins);
+  bx = std::clamp<int64_t>(bx, 0, bins - 1);
+  by = std::clamp<int64_t>(by, 0, bins - 1);
+  return by * bins + bx;
+}
+
+}  // namespace maliva
+
+#endif  // MALIVA_ENGINE_BINNING_H_

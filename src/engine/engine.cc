@@ -1,0 +1,537 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <functional>
+
+#include "engine/binning.h"
+#include "engine/optimizer.h"
+#include "index/rowset.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace maliva {
+
+namespace {
+
+/// Evaluates one predicate against one row by direct column access.
+bool EvalPredicate(const Table& table, const Predicate& pred, RowId row) {
+  const Column& col = table.GetColumn(pred.column);
+  switch (pred.type) {
+    case PredicateType::kKeyword: {
+      // Token containment; the inverted index is the fast path, this is the
+      // residual-filter path.
+      std::vector<std::string> tokens = Tokenize(col.TextAt(row));
+      return std::find(tokens.begin(), tokens.end(), pred.keyword) != tokens.end();
+    }
+    case PredicateType::kTimeRange:
+    case PredicateType::kNumericRange:
+      return pred.range.Contains(col.NumericAt(row));
+    case PredicateType::kSpatialBox:
+      return pred.box.Contains(col.PointAt(row));
+  }
+  return false;
+}
+
+/// Deterministic 64-bit seed from the execution identity (query, plan).
+uint64_t MixSeed(uint64_t engine_seed, const Query& query, const PlanSpec& spec) {
+  uint64_t h = engine_seed;
+  auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(query.id);
+  mix(spec.index_mask);
+  mix(static_cast<uint64_t>(spec.join_method));
+  mix(static_cast<uint64_t>(spec.approx.kind));
+  mix(std::bit_cast<uint64_t>(spec.approx.fraction));
+  return h;
+}
+
+}  // namespace
+
+namespace {
+
+EngineProfile PlannerBeliefs(const EngineProfile& profile) {
+  EngineProfile p = profile;
+  p.heap_fetch_ms *= profile.planner_heap_fetch_factor;
+  p.scan_row_ms *= profile.planner_scan_factor;
+  p.residual_filter_ms *= profile.planner_residual_factor;
+  return p;
+}
+
+}  // namespace
+
+Engine::Engine(const EngineProfile& profile, uint64_t seed)
+    : profile_(profile),
+      cost_model_(profile),
+      planner_cost_model_(PlannerBeliefs(profile)),
+      seed_(seed) {
+  optimizer_ = std::make_unique<Optimizer>(this);
+}
+
+Engine::~Engine() = default;
+
+Status Engine::RegisterTable(std::unique_ptr<Table> table,
+                             const std::vector<std::string>& indexed_columns,
+                             const std::vector<std::string>& hash_columns) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  std::string name = table->name();
+  if (catalog_.count(name) > 0) {
+    return Status::FailedPrecondition("table '" + name + "' already registered");
+  }
+  TableEntry entry;
+  entry.table = std::move(table);
+  for (const std::string& col_name : indexed_columns) {
+    Result<size_t> idx = entry.table->ColumnIndex(col_name);
+    if (!idx.ok()) return idx.status();
+    const Column& col = entry.table->ColumnAt(idx.value());
+    switch (col.type()) {
+      case ColumnType::kInt64:
+      case ColumnType::kDouble:
+      case ColumnType::kTimestamp:
+        entry.btrees[col_name] = std::make_unique<BTreeIndex>(*entry.table, col_name);
+        break;
+      case ColumnType::kPoint:
+        entry.rtrees[col_name] = std::make_unique<RTreeIndex>(*entry.table, col_name);
+        break;
+      case ColumnType::kText:
+        entry.inverted[col_name] =
+            std::make_unique<InvertedIndex>(*entry.table, col_name);
+        break;
+    }
+  }
+  for (const std::string& col_name : hash_columns) {
+    Result<size_t> idx = entry.table->ColumnIndex(col_name);
+    if (!idx.ok()) return idx.status();
+    entry.hashes[col_name] = std::make_unique<HashIndex>(*entry.table, col_name);
+  }
+  entry.stats = std::make_unique<TableStats>(*entry.table, TableStats::Options{});
+  catalog_.emplace(std::move(name), std::move(entry));
+  return Status::OK();
+}
+
+std::string Engine::SampleTableName(const std::string& base, double rate) {
+  int pct_x10 = static_cast<int>(std::lround(rate * 1000.0));
+  return base + "#sample" + std::to_string(pct_x10);
+}
+
+Status Engine::BuildSampleTables(const std::string& table,
+                                 const std::vector<double>& rates, uint64_t seed) {
+  const TableEntry* base = FindEntry(table);
+  if (base == nullptr) return Status::NotFound("no table '" + table + "'");
+
+  // Reconstruct which columns were indexed on the base table so the sample
+  // tables get the same access paths.
+  std::vector<std::string> indexed;
+  std::vector<std::string> hashed;
+  for (const auto& [col, idx] : base->btrees) indexed.push_back(col);
+  for (const auto& [col, idx] : base->rtrees) indexed.push_back(col);
+  for (const auto& [col, idx] : base->inverted) indexed.push_back(col);
+  for (const auto& [col, idx] : base->hashes) hashed.push_back(col);
+
+  Rng rng(seed);
+  for (double rate : rates) {
+    std::string name = SampleTableName(table, rate);
+    if (catalog_.count(name) > 0) continue;
+    std::unique_ptr<Table> sample = base->table->Sample(rate, &rng, name);
+    MALIVA_RETURN_NOT_OK(RegisterTable(std::move(sample), indexed, hashed));
+  }
+  return Status::OK();
+}
+
+const TableEntry* Engine::FindEntry(const std::string& name) const {
+  auto it = catalog_.find(name);
+  return it == catalog_.end() ? nullptr : &it->second;
+}
+
+Result<double> Engine::TrueSelectivity(const std::string& table,
+                                       const Predicate& pred) const {
+  const TableEntry* entry = FindEntry(table);
+  if (entry == nullptr) return Status::NotFound("no table '" + table + "'");
+  size_t n = entry->table->NumRows();
+  if (n == 0) return 0.0;
+
+  size_t count = 0;
+  switch (pred.type) {
+    case PredicateType::kKeyword: {
+      auto it = entry->inverted.find(pred.column);
+      if (it != entry->inverted.end()) {
+        count = it->second->DocFreq(pred.keyword);
+        return static_cast<double>(count) / static_cast<double>(n);
+      }
+      break;
+    }
+    case PredicateType::kTimeRange:
+    case PredicateType::kNumericRange: {
+      auto it = entry->btrees.find(pred.column);
+      if (it != entry->btrees.end()) {
+        count = it->second->RangeCount(pred.range.lo, pred.range.hi);
+        return static_cast<double>(count) / static_cast<double>(n);
+      }
+      break;
+    }
+    case PredicateType::kSpatialBox: {
+      auto it = entry->rtrees.find(pred.column);
+      if (it != entry->rtrees.end()) {
+        count = it->second->Count(pred.box);
+        return static_cast<double>(count) / static_cast<double>(n);
+      }
+      break;
+    }
+  }
+  // Scan fallback for unindexed predicates.
+  for (RowId row = 0; row < n; ++row) {
+    if (EvalPredicate(*entry->table, pred, row)) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(n);
+}
+
+Result<double> Engine::SampledSelectivity(const std::string& table, const Predicate& pred,
+                                          double sample_rate) const {
+  std::string sample_name = SampleTableName(table, sample_rate);
+  const TableEntry* entry = FindEntry(sample_name);
+  if (entry == nullptr) {
+    return Status::NotFound("sample table '" + sample_name + "' not built");
+  }
+  size_t n = entry->table->NumRows();
+  if (n == 0) return 0.0;
+  Result<double> exact = TrueSelectivity(sample_name, pred);
+  if (!exact.ok()) return exact.status();
+  // count(*) on the sample with add-half smoothing: rare predicates hit zero
+  // sample matches, which is exactly the sampling-QTE error source.
+  double count = exact.value() * static_cast<double>(n);
+  return (count + 0.5) / (static_cast<double>(n) + 1.0);
+}
+
+double Engine::EstimateOutputCardinality(const Query& q) const {
+  const TableEntry* entry = FindEntry(q.table);
+  assert(entry != nullptr);
+  double sel = entry->stats->EstimateConjunction(q.predicates);
+  return sel * static_cast<double>(entry->table->NumRows());
+}
+
+Result<ExecResult> Engine::Execute(const RewrittenQuery& rq) const {
+  assert(rq.query != nullptr);
+  PlanSpec spec = optimizer_->ResolvePlan(*rq.query, rq.option);
+  return ExecutePlan(*rq.query, spec);
+}
+
+Result<ExecResult> Engine::ExecutePlan(const Query& query, const PlanSpec& spec) const {
+  Rng rng(MixSeed(seed_, query, spec));
+
+  // Commercial-DB behaviour: occasionally the engine re-plans dynamically and
+  // ignores the index hints (paper challenge C2).
+  PlanSpec effective = spec;
+  if (profile_.plan_instability_prob > 0.0 &&
+      rng.Bernoulli(profile_.plan_instability_prob)) {
+    RewriteOption free;
+    free.approx = spec.approx;
+    effective = optimizer_->ResolvePlan(query, free);
+    effective.approx = spec.approx;
+  }
+
+  std::string exec_table = query.table;
+  if (effective.approx.kind == ApproxKind::kSampleTable) {
+    exec_table = SampleTableName(query.table, effective.approx.fraction);
+  }
+  const TableEntry* entry = FindEntry(exec_table);
+  if (entry == nullptr) {
+    return Status::NotFound("table '" + exec_table + "' not registered");
+  }
+  const Table& table = *entry->table;
+  const size_t m = query.predicates.size();
+  const size_t n = table.NumRows();
+  const double scale = profile_.cardinality_scale;
+
+  // LIMIT target in actual rows, derived from the optimizer's cardinality
+  // estimate of the original query (fixed at rewrite time).
+  size_t limit_actual = std::numeric_limits<size_t>::max();
+  if (effective.approx.kind == ApproxKind::kLimit) {
+    double est = EstimateOutputCardinality(query);
+    limit_actual = static_cast<size_t>(
+        std::max<double>(1.0, std::llround(effective.approx.fraction * est)));
+  }
+
+  ExecResult result;
+  result.plan = effective;
+  PlanCards& cards = result.cards;
+  cards.heatmap = (query.output == OutputKind::kHeatmap);
+
+  // Per-predicate evaluators. Keyword predicates check membership in the
+  // (sorted) postings list when an inverted index exists — semantically
+  // identical to tokenizing the row, far cheaper for us (the *charged* cost
+  // is governed by the cost model, not by how we compute ground truth).
+  std::vector<std::function<bool(RowId)>> eval;
+  eval.reserve(m);
+  for (const Predicate& p : query.predicates) {
+    if (p.type == PredicateType::kKeyword) {
+      auto it = entry->inverted.find(p.column);
+      if (it != entry->inverted.end()) {
+        const RowIdList* postings = &it->second->Lookup(p.keyword);
+        eval.push_back([postings](RowId row) {
+          return std::binary_search(postings->begin(), postings->end(), row);
+        });
+        continue;
+      }
+    }
+    const Predicate* pred = &p;
+    eval.push_back([&table, pred](RowId row) { return EvalPredicate(table, *pred, row); });
+  }
+
+  std::vector<RowId> matched;
+  uint32_t mask = effective.index_mask;
+
+  if (mask == 0) {
+    // Full scan; evaluate cheap (non-keyword) predicates first.
+    std::vector<size_t> order;
+    for (size_t i = 0; i < m; ++i) {
+      if (query.predicates[i].type != PredicateType::kKeyword) order.push_back(i);
+    }
+    for (size_t i = 0; i < m; ++i) {
+      if (query.predicates[i].type == PredicateType::kKeyword) order.push_back(i);
+    }
+    size_t scanned = 0;
+    for (RowId row = 0; row < n; ++row) {
+      ++scanned;
+      bool ok = true;
+      for (size_t i : order) {
+        if (!eval[i](row)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        matched.push_back(row);
+        if (matched.size() >= limit_actual) break;
+      }
+    }
+    cards.scanned_rows = static_cast<double>(scanned) * scale;
+    cards.scan_preds = static_cast<double>(m);
+  } else {
+    // Index path: fetch postings for hinted predicates, intersect, then
+    // residual-filter the survivors.
+    std::vector<RowIdList> lists;
+    for (size_t i = 0; i < m; ++i) {
+      if (((mask >> i) & 1u) == 0) continue;
+      const Predicate& p = query.predicates[i];
+      RowIdList list;
+      switch (p.type) {
+        case PredicateType::kKeyword: {
+          auto it = entry->inverted.find(p.column);
+          if (it == entry->inverted.end()) {
+            return Status::FailedPrecondition("no inverted index on " + p.column);
+          }
+          list = it->second->Lookup(p.keyword);
+          break;
+        }
+        case PredicateType::kTimeRange:
+        case PredicateType::kNumericRange: {
+          auto it = entry->btrees.find(p.column);
+          if (it == entry->btrees.end()) {
+            return Status::FailedPrecondition("no btree index on " + p.column);
+          }
+          list = it->second->RangeScan(p.range.lo, p.range.hi);
+          break;
+        }
+        case PredicateType::kSpatialBox: {
+          auto it = entry->rtrees.find(p.column);
+          if (it == entry->rtrees.end()) {
+            return Status::FailedPrecondition("no rtree index on " + p.column);
+          }
+          list = it->second->Query(p.box);
+          break;
+        }
+      }
+      cards.postings.push_back(static_cast<double>(list.size()) * scale);
+      lists.push_back(std::move(list));
+    }
+
+    std::vector<const RowIdList*> list_ptrs;
+    list_ptrs.reserve(lists.size());
+    for (const RowIdList& l : lists) list_ptrs.push_back(&l);
+    RowIdList candidates = IntersectAll(list_ptrs);
+
+    size_t residual = m - static_cast<size_t>(std::popcount(mask));
+    cards.residual_preds = static_cast<double>(residual);
+
+    size_t processed = 0;
+    for (RowId row : candidates) {
+      ++processed;
+      bool ok = true;
+      if (residual > 0) {
+        for (size_t i = 0; i < m; ++i) {
+          if ((mask >> i) & 1u) continue;
+          if (!eval[i](row)) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok) {
+        matched.push_back(row);
+        if (matched.size() >= limit_actual) break;
+      }
+    }
+    cards.candidates = static_cast<double>(processed) * scale;
+  }
+
+  cards.output_rows = static_cast<double>(matched.size()) * scale;
+
+  // Join stage.
+  if (query.join.has_value()) {
+    const JoinSpec& js = *query.join;
+    const TableEntry* right = FindEntry(js.right_table);
+    if (right == nullptr) return Status::NotFound("no table '" + js.right_table + "'");
+    const Table& rtable = *right->table;
+
+    cards.has_join = true;
+    cards.join_method = effective.join_method;
+    cards.output_rows = 0.0;  // emission is accounted by the join
+
+    const Column& fk_col = table.GetColumn(js.left_key);
+    std::vector<RowId> joined;
+
+    auto right_row_passes = [&](RowId rrow) {
+      for (const Predicate& p : js.right_predicates) {
+        if (!EvalPredicate(rtable, p, rrow)) return false;
+      }
+      return true;
+    };
+
+    // Pre-filter the right side for hash/merge via the B+ tree on the first
+    // right predicate (residual-check the rest).
+    auto filtered_right = [&]() -> RowIdList {
+      RowIdList rows;
+      if (!js.right_predicates.empty()) {
+        const Predicate& p0 = js.right_predicates[0];
+        auto it = right->btrees.find(p0.column);
+        if (it != right->btrees.end() && p0.type != PredicateType::kKeyword &&
+            p0.type != PredicateType::kSpatialBox) {
+          rows = it->second->RangeScan(p0.range.lo, p0.range.hi);
+          if (js.right_predicates.size() > 1) {
+            RowIdList kept;
+            for (RowId r : rows) {
+              if (right_row_passes(r)) kept.push_back(r);
+            }
+            rows = std::move(kept);
+          }
+          return rows;
+        }
+      }
+      for (RowId r = 0; r < rtable.NumRows(); ++r) {
+        if (right_row_passes(r)) rows.push_back(r);
+      }
+      return rows;
+    };
+
+    switch (effective.join_method) {
+      case JoinMethod::kNestedLoop: {
+        auto it = right->hashes.find(js.right_key);
+        if (it == right->hashes.end()) {
+          return Status::FailedPrecondition("no hash index on " + js.right_key);
+        }
+        cards.nl_outer = static_cast<double>(matched.size()) * scale;
+        for (RowId row : matched) {
+          int64_t key = fk_col.Int64At(row);
+          for (RowId rrow : it->second->Lookup(key)) {
+            if (right_row_passes(rrow)) {
+              joined.push_back(row);
+              break;
+            }
+          }
+        }
+        break;
+      }
+      case JoinMethod::kHash: {
+        RowIdList rrows = filtered_right();
+        cards.right_scanned = static_cast<double>(rrows.size()) * scale;
+        cards.build_rows = static_cast<double>(rrows.size()) * scale;
+        cards.probe_rows = static_cast<double>(matched.size()) * scale;
+        const Column& pk_col = rtable.GetColumn(js.right_key);
+        std::unordered_map<int64_t, bool> built;
+        built.reserve(rrows.size());
+        for (RowId r : rrows) built.emplace(pk_col.Int64At(r), true);
+        for (RowId row : matched) {
+          if (built.count(fk_col.Int64At(row)) > 0) joined.push_back(row);
+        }
+        break;
+      }
+      case JoinMethod::kMerge: {
+        RowIdList rrows = filtered_right();
+        cards.right_scanned = static_cast<double>(rrows.size()) * scale;
+        cards.sort_rows =
+            static_cast<double>(matched.size() + rrows.size()) * scale;
+        cards.merge_rows = cards.sort_rows;
+        const Column& pk_col = rtable.GetColumn(js.right_key);
+        std::vector<std::pair<int64_t, RowId>> left_sorted;
+        left_sorted.reserve(matched.size());
+        for (RowId row : matched) left_sorted.emplace_back(fk_col.Int64At(row), row);
+        std::sort(left_sorted.begin(), left_sorted.end());
+        std::vector<int64_t> right_keys;
+        right_keys.reserve(rrows.size());
+        for (RowId r : rrows) right_keys.push_back(pk_col.Int64At(r));
+        std::sort(right_keys.begin(), right_keys.end());
+        size_t ri = 0;
+        for (const auto& [key, row] : left_sorted) {
+          while (ri < right_keys.size() && right_keys[ri] < key) ++ri;
+          if (ri < right_keys.size() && right_keys[ri] == key) joined.push_back(row);
+        }
+        break;
+      }
+      case JoinMethod::kOptimizerChoice:
+        return Status::Internal("unresolved join method at execution time");
+    }
+    cards.join_output = static_cast<double>(joined.size()) * scale;
+    matched = std::move(joined);
+  }
+
+  // Visualization output.
+  if (query.output == OutputKind::kHeatmap) {
+    BoundingBox viewport{};
+    bool have_viewport = false;
+    for (const Predicate& p : query.predicates) {
+      if (p.type == PredicateType::kSpatialBox) {
+        viewport = p.box;
+        have_viewport = true;
+        break;
+      }
+    }
+    if (!have_viewport) {
+      auto it = entry->rtrees.find(query.output_column);
+      if (it != entry->rtrees.end()) {
+        viewport = it->second->Bounds();
+      }
+    }
+    const Column& out_col = table.GetColumn(query.output_column);
+    for (RowId row : matched) {
+      ++result.vis.bins[BinId(out_col.PointAt(row), viewport, query.heatmap_bins)];
+    }
+  } else {
+    Result<size_t> id_idx = table.ColumnIndex("id");
+    if (id_idx.ok()) {
+      const Column& id_col = table.ColumnAt(id_idx.value());
+      result.vis.ids.reserve(matched.size());
+      for (RowId row : matched) result.vis.ids.push_back(id_col.Int64At(row));
+    } else {
+      for (RowId row : matched) result.vis.ids.push_back(static_cast<int64_t>(row));
+    }
+  }
+
+  double ms = cost_model_.PlanTimeMs(cards);
+
+  // Deterministic stochastic behaviours.
+  if (profile_.buffer_hit_prob > 0.0 && rng.Bernoulli(profile_.buffer_hit_prob)) {
+    ms /= std::max(1.0, profile_.buffer_speedup);
+  }
+  if (profile_.noise_sigma > 0.0) {
+    double sigma = profile_.noise_sigma;
+    // Mean-one lognormal noise.
+    ms *= std::exp(rng.Normal(0.0, sigma) - 0.5 * sigma * sigma);
+  }
+  result.exec_ms = ms;
+  return result;
+}
+
+}  // namespace maliva

@@ -1,0 +1,109 @@
+// Engine: the simulated backend database.
+//
+// Owns the catalog (tables, indexes, statistics, sample tables), executes
+// rewritten queries for real over in-memory data, and reports deterministic
+// virtual execution times through the profile's cost model (see DESIGN.md).
+
+#ifndef MALIVA_ENGINE_ENGINE_H_
+#define MALIVA_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/cost_model.h"
+#include "engine/plan.h"
+#include "engine/profile.h"
+#include "engine/table_stats.h"
+#include "index/btree_index.h"
+#include "index/hash_index.h"
+#include "index/inverted_index.h"
+#include "index/rtree_index.h"
+#include "query/rewritten_query.h"
+#include "util/status.h"
+
+namespace maliva {
+
+class Optimizer;
+
+/// A registered table plus its access structures.
+struct TableEntry {
+  std::unique_ptr<Table> table;
+  std::unordered_map<std::string, std::unique_ptr<BTreeIndex>> btrees;
+  std::unordered_map<std::string, std::unique_ptr<RTreeIndex>> rtrees;
+  std::unordered_map<std::string, std::unique_ptr<InvertedIndex>> inverted;
+  std::unordered_map<std::string, std::unique_ptr<HashIndex>> hashes;
+  std::unique_ptr<TableStats> stats;
+};
+
+/// The simulated backend database the middleware talks to.
+class Engine {
+ public:
+  Engine(const EngineProfile& profile, uint64_t seed);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Registers `table` and builds an index on every column in
+  /// `indexed_columns` (index kind chosen by column type: B+ tree for
+  /// numeric/timestamp, R-tree for points, inverted for text, hash for int64
+  /// key columns listed in `hash_columns`). Also computes optimizer stats.
+  Status RegisterTable(std::unique_ptr<Table> table,
+                       const std::vector<std::string>& indexed_columns,
+                       const std::vector<std::string>& hash_columns = {});
+
+  /// Builds sample tables (with indexes) of `table` at the given sampling
+  /// rates. Sample tables serve approximation rules and the sampling QTE.
+  Status BuildSampleTables(const std::string& table, const std::vector<double>& rates,
+                           uint64_t seed);
+
+  /// Canonical name of a sample table, e.g. "tweets#sample20".
+  static std::string SampleTableName(const std::string& base, double rate);
+
+  /// Looks up a table entry; nullptr when absent.
+  const TableEntry* FindEntry(const std::string& name) const;
+
+  /// Executes a rewritten query. When the option leaves choices open
+  /// (index_mask unset / join method unset), the optimizer resolves them —
+  /// this is exactly the no-rewriting baseline behaviour.
+  Result<ExecResult> Execute(const RewrittenQuery& rq) const;
+
+  /// Executes a fully resolved physical plan.
+  Result<ExecResult> ExecutePlan(const Query& query, const PlanSpec& spec) const;
+
+  /// Exact selectivity of `pred` over the named table (index-assisted count).
+  Result<double> TrueSelectivity(const std::string& table, const Predicate& pred) const;
+
+  /// Selectivity of `pred` measured by count(*) over the named table's QTE
+  /// sample (with add-half smoothing). `sample_rate` selects which sample.
+  Result<double> SampledSelectivity(const std::string& table, const Predicate& pred,
+                                    double sample_rate) const;
+
+  /// Estimated (optimizer-stats) result cardinality of `q` in *actual* rows,
+  /// used to translate LIMIT fractions into row counts.
+  double EstimateOutputCardinality(const Query& q) const;
+
+  const EngineProfile& profile() const { return profile_; }
+  const CostModel& cost_model() const { return cost_model_; }
+  /// The optimizer's miscalibrated cost model (see EngineProfile's planner
+  /// factors). True execution always uses cost_model().
+  const CostModel& planner_cost_model() const { return planner_cost_model_; }
+  const Optimizer& optimizer() const { return *optimizer_; }
+  uint64_t seed() const { return seed_; }
+
+ private:
+  friend class Executor;
+
+  EngineProfile profile_;
+  CostModel cost_model_;
+  CostModel planner_cost_model_;
+  uint64_t seed_;
+  std::unordered_map<std::string, TableEntry> catalog_;
+  std::unique_ptr<Optimizer> optimizer_;
+};
+
+}  // namespace maliva
+
+#endif  // MALIVA_ENGINE_ENGINE_H_

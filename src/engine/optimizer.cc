@@ -1,0 +1,182 @@
+#include "engine/optimizer.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <limits>
+
+#include "engine/engine.h"
+
+namespace maliva {
+
+namespace {
+
+/// Product of the selectivities selected by `mask` (all of them if mask has
+/// every bit set).
+double MaskedProduct(const std::vector<double>& sels, uint32_t mask) {
+  double prod = 1.0;
+  for (size_t i = 0; i < sels.size(); ++i) {
+    if ((mask >> i) & 1u) prod *= sels[i];
+  }
+  return prod;
+}
+
+double Product(const std::vector<double>& sels) {
+  double prod = 1.0;
+  for (double s : sels) prod *= s;
+  return prod;
+}
+
+}  // namespace
+
+SelectivityVector Optimizer::EstimatedSelectivities(const Query& query) const {
+  const TableEntry* entry = engine_->FindEntry(query.table);
+  assert(entry != nullptr);
+  SelectivityVector sels;
+  sels.base.reserve(query.predicates.size());
+  for (const Predicate& p : query.predicates) {
+    sels.base.push_back(entry->stats->EstimateSelectivity(p));
+  }
+  if (query.join.has_value()) {
+    const TableEntry* right = engine_->FindEntry(query.join->right_table);
+    assert(right != nullptr);
+    for (const Predicate& p : query.join->right_predicates) {
+      sels.right.push_back(right->stats->EstimateSelectivity(p));
+    }
+  }
+  return sels;
+}
+
+PlanCards Optimizer::CardsFromSelectivities(const Query& query, const PlanSpec& spec,
+                                            const SelectivityVector& sels) const {
+  const size_t m = query.predicates.size();
+  assert(sels.base.size() == m);
+
+  const TableEntry* entry = engine_->FindEntry(query.table);
+  assert(entry != nullptr);
+  double scale = engine_->profile().cardinality_scale;
+  double n_virtual = static_cast<double>(entry->table->NumRows()) * scale;
+  if (spec.approx.kind == ApproxKind::kSampleTable) {
+    n_virtual *= spec.approx.fraction;
+  }
+
+  PlanCards cards;
+  cards.heatmap = (query.output == OutputKind::kHeatmap);
+  double prod_all = Product(sels.base);
+  double est_output = n_virtual * prod_all;
+
+  // LIMIT early-exit factor: fraction of the matching rows actually needed.
+  double limit_factor = 1.0;
+  if (spec.approx.kind == ApproxKind::kLimit && est_output > 0.0) {
+    double limit_rows = std::max(1.0, spec.approx.fraction * est_output);
+    limit_factor = std::min(1.0, limit_rows / est_output);
+  }
+
+  uint32_t mask = spec.index_mask;
+  if (mask == 0) {
+    cards.scanned_rows = n_virtual * limit_factor;
+    cards.scan_preds = static_cast<double>(m);
+    cards.output_rows = est_output * limit_factor;
+  } else {
+    for (size_t i = 0; i < m; ++i) {
+      if ((mask >> i) & 1u) cards.postings.push_back(n_virtual * sels.base[i]);
+    }
+    cards.candidates = n_virtual * MaskedProduct(sels.base, mask) * limit_factor;
+    cards.residual_preds =
+        static_cast<double>(m - static_cast<size_t>(std::popcount(mask)));
+    cards.output_rows = est_output * limit_factor;
+  }
+
+  if (query.join.has_value()) {
+    cards.has_join = true;
+    cards.join_method = spec.join_method;
+    const TableEntry* right = engine_->FindEntry(query.join->right_table);
+    assert(right != nullptr);
+    double r_virtual = static_cast<double>(right->table->NumRows()) * scale;
+    double right_sel = Product(sels.right);
+    double right_filtered = r_virtual * right_sel;
+    double base_out = cards.output_rows;
+
+    switch (spec.join_method) {
+      case JoinMethod::kNestedLoop:
+        cards.nl_outer = base_out;
+        break;
+      case JoinMethod::kHash:
+        cards.right_scanned = right_filtered;
+        cards.build_rows = right_filtered;
+        cards.probe_rows = base_out;
+        break;
+      case JoinMethod::kMerge:
+        cards.right_scanned = right_filtered;
+        cards.sort_rows = base_out + right_filtered;
+        cards.merge_rows = base_out + right_filtered;
+        break;
+      case JoinMethod::kOptimizerChoice:
+        assert(false && "unresolved join method in CardsFromSelectivities");
+        break;
+    }
+    // FK join: a base row survives iff its referenced row passes the filter.
+    cards.join_output = base_out * right_sel;
+    cards.output_rows = 0.0;  // emission accounted by join_output
+  }
+  return cards;
+}
+
+double Optimizer::EstimatePlanTimeMs(const Query& query, const PlanSpec& spec) const {
+  SelectivityVector sels = EstimatedSelectivities(query);
+  PlanCards cards = CardsFromSelectivities(query, spec, sels);
+  // The planner judges plans with its own (miscalibrated) cost constants.
+  return engine_->planner_cost_model().PlanTimeMs(cards);
+}
+
+std::vector<PlanSpec> Optimizer::EnumeratePlans(const Query& query,
+                                                const RewriteOption& option) const {
+  std::vector<uint32_t> masks;
+  if (option.hints.index_mask.has_value()) {
+    masks.push_back(*option.hints.index_mask);
+  } else {
+    uint32_t total = 1u << query.predicates.size();
+    for (uint32_t mask = 0; mask < total; ++mask) masks.push_back(mask);
+  }
+
+  std::vector<JoinMethod> methods;
+  if (!query.join.has_value()) {
+    methods.push_back(JoinMethod::kNestedLoop);  // unused for single-table
+  } else if (option.hints.join_method != JoinMethod::kOptimizerChoice) {
+    methods.push_back(option.hints.join_method);
+  } else {
+    methods = {JoinMethod::kNestedLoop, JoinMethod::kHash, JoinMethod::kMerge};
+  }
+
+  std::vector<PlanSpec> plans;
+  plans.reserve(masks.size() * methods.size());
+  for (uint32_t mask : masks) {
+    for (JoinMethod jm : methods) {
+      PlanSpec spec;
+      spec.index_mask = mask;
+      spec.join_method = jm;
+      spec.approx = option.approx;
+      plans.push_back(spec);
+    }
+  }
+  return plans;
+}
+
+PlanSpec Optimizer::ResolvePlan(const Query& query, const RewriteOption& option) const {
+  std::vector<PlanSpec> plans = EnumeratePlans(query, option);
+  assert(!plans.empty());
+  if (plans.size() == 1) return plans[0];
+
+  PlanSpec best = plans[0];
+  double best_ms = std::numeric_limits<double>::infinity();
+  for (const PlanSpec& spec : plans) {
+    double ms = EstimatePlanTimeMs(query, spec);
+    if (ms < best_ms) {
+      best_ms = ms;
+      best = spec;
+    }
+  }
+  return best;
+}
+
+}  // namespace maliva

@@ -1,0 +1,61 @@
+// The engine's cost-based optimizer.
+//
+// Resolves hinted/unhinted rewrite options into physical plans and estimates
+// plan times from table statistics. Its estimates inherit the classic error
+// sources (MCV fallback on keywords, grid uniformity on boxes, independence
+// across conjuncts), so the plan it freely picks — the baseline behaviour —
+// is frequently far from the fastest plan.
+
+#ifndef MALIVA_ENGINE_OPTIMIZER_H_
+#define MALIVA_ENGINE_OPTIMIZER_H_
+
+#include <vector>
+
+#include "engine/plan.h"
+#include "query/rewritten_query.h"
+
+namespace maliva {
+
+class Engine;
+
+/// Per-query selectivity vector: one entry per base predicate, then one per
+/// right-side (join) predicate.
+struct SelectivityVector {
+  std::vector<double> base;
+  std::vector<double> right;
+};
+
+/// Cost-based planner over the Engine's statistics.
+class Optimizer {
+ public:
+  explicit Optimizer(const Engine* engine) : engine_(engine) {}
+
+  /// Resolves a rewrite option into a full plan. Hinted parts are honored;
+  /// unhinted parts are chosen by minimum estimated time (baseline behaviour
+  /// when nothing is hinted).
+  PlanSpec ResolvePlan(const Query& query, const RewriteOption& option) const;
+
+  /// Estimated virtual time of a resolved plan using optimizer statistics.
+  double EstimatePlanTimeMs(const Query& query, const PlanSpec& spec) const;
+
+  /// Estimated operator cardinalities of a plan given a selectivity vector.
+  /// Shared by the optimizer (histogram selectivities) and the sampling QTE
+  /// (sample-measured selectivities): same formulas, different inputs.
+  PlanCards CardsFromSelectivities(const Query& query, const PlanSpec& spec,
+                                   const SelectivityVector& sels) const;
+
+  /// Selectivities from the engine's table statistics.
+  SelectivityVector EstimatedSelectivities(const Query& query) const;
+
+  /// All candidate plans the optimizer would enumerate for `query` given the
+  /// hint constraints in `option` (used by the Bao baseline for features).
+  std::vector<PlanSpec> EnumeratePlans(const Query& query,
+                                       const RewriteOption& option) const;
+
+ private:
+  const Engine* engine_;
+};
+
+}  // namespace maliva
+
+#endif  // MALIVA_ENGINE_OPTIMIZER_H_

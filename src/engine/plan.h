@@ -1,0 +1,70 @@
+// Physical-plan description, operator cardinalities, and execution results.
+
+#ifndef MALIVA_ENGINE_PLAN_H_
+#define MALIVA_ENGINE_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/hints.h"
+
+namespace maliva {
+
+/// Fully resolved physical plan: which per-predicate indexes to use and which
+/// join method. Produced by the optimizer (honoring hints) and consumed by
+/// the executor. `index_mask` bit i = use the index serving base predicate i.
+struct PlanSpec {
+  uint32_t index_mask = 0;
+  JoinMethod join_method = JoinMethod::kNestedLoop;
+  ApproxRule approx;
+
+  std::string ToString(size_t num_predicates) const;
+};
+
+/// Operator cardinalities of one plan execution/estimation, in *virtual* rows.
+/// The cost model maps a PlanCards to virtual milliseconds; the executor fills
+/// it with true counts, the optimizer with estimated counts (same formulas,
+/// different numbers — see DESIGN.md).
+struct PlanCards {
+  // Selection over the base table.
+  double scanned_rows = 0;                ///< rows touched by a full scan
+  double scan_preds = 0;                  ///< predicates evaluated per scanned row
+  std::vector<double> postings;           ///< per used index: entries fetched
+  double candidates = 0;                  ///< rows surviving index intersection
+  double residual_preds = 0;              ///< predicates re-checked per candidate
+  double output_rows = 0;                 ///< rows emitted (or aggregated)
+  bool heatmap = false;                   ///< aggregate instead of project
+
+  // Join (all zero for single-table queries).
+  bool has_join = false;
+  JoinMethod join_method = JoinMethod::kNestedLoop;
+  double right_scanned = 0;               ///< right-side rows touched by filter
+  double build_rows = 0;                  ///< hash build side
+  double probe_rows = 0;                  ///< hash probe side
+  double nl_outer = 0;                    ///< nested-loop outer rows
+  double sort_rows = 0;                   ///< total rows sorted (merge join)
+  double merge_rows = 0;                  ///< rows merged
+  double join_output = 0;                 ///< joined rows emitted
+};
+
+/// Visualization result of a query, used by quality functions.
+struct VisResult {
+  /// Scatter output: matching values of the base table's `id` column.
+  std::vector<int64_t> ids;
+  /// Heatmap output: bin id -> count.
+  std::unordered_map<int64_t, int64_t> bins;
+};
+
+/// Outcome of executing a rewritten query.
+struct ExecResult {
+  double exec_ms = 0.0;   ///< virtual execution time
+  PlanSpec plan;          ///< the plan that actually ran
+  PlanCards cards;        ///< true operator cardinalities (virtual rows)
+  VisResult vis;          ///< visualization output
+};
+
+}  // namespace maliva
+
+#endif  // MALIVA_ENGINE_PLAN_H_

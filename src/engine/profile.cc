@@ -1,0 +1,27 @@
+#include "engine/profile.h"
+
+namespace maliva {
+
+EngineProfile EngineProfile::PostgresLike() {
+  EngineProfile p;
+  p.name = "postgres-like";
+  return p;
+}
+
+EngineProfile EngineProfile::CommercialLike() {
+  EngineProfile p;
+  p.name = "commercial-like";
+  // Smaller deployment (paper: 10M-row table, 250ms budget).
+  p.cardinality_scale = 20.0;
+  // Faster raw engine, but with behaviours the sampling QTE cannot model:
+  // warm-cache speedups and occasional dynamic re-planning.
+  p.heap_fetch_ms = 3e-3;
+  p.noise_sigma = 0.35;
+  p.buffer_hit_prob = 0.35;
+  p.buffer_speedup = 6.0;
+  p.plan_instability_prob = 0.15;
+  p.optimizer_ms = 3.0;
+  return p;
+}
+
+}  // namespace maliva

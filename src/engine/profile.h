@@ -1,0 +1,78 @@
+// Engine cost/behaviour profiles.
+//
+// All execution times in this project are *virtual milliseconds*: the executor
+// measures true operator cardinalities by actually running the plan over the
+// in-memory table, multiplies them by `cardinality_scale` to emulate the
+// paper's 100M-row deployments, and feeds them through the profile's cost
+// constants. The optimizer uses the same constants with *estimated*
+// cardinalities — the divergence between the two is the phenomenon Maliva
+// exploits (see DESIGN.md).
+
+#ifndef MALIVA_ENGINE_PROFILE_H_
+#define MALIVA_ENGINE_PROFILE_H_
+
+#include <string>
+
+namespace maliva {
+
+/// Cost constants and behavioural knobs of a simulated backend database.
+struct EngineProfile {
+  std::string name = "postgres-like";
+
+  /// Virtual rows per actual in-memory row (emulates table scale).
+  double cardinality_scale = 200.0;
+
+  // --- selection costs (virtual ms per virtual row unless noted) ---
+  // Calibrated so that, at the default scale, a full scan of a 100M-virtual-
+  // row table takes ~60s, a single-index plan is viable (<= ~500ms) for
+  // selectivities up to ~7e-4, and index-intersection plans extend viability
+  // to the ~3e-3 band — mirroring the regimes in the paper's Figures 1-2.
+  double scan_row_ms = 0.6e-3;        ///< sequential scan, per row
+  double pred_eval_ms = 0.05e-3;      ///< per predicate evaluated during a scan
+  double index_probe_ms = 0.2;        ///< per index lookup (tree descent)
+  double posting_fetch_ms = 0.4e-3;   ///< per index entry retrieved
+  double intersect_row_ms = 0.4e-3;   ///< per element processed when intersecting
+  double heap_fetch_ms = 4e-3;        ///< per candidate row fetched
+  double residual_filter_ms = 1e-3;   ///< per candidate per residual predicate
+  double output_row_ms = 0.5e-3;      ///< per emitted row
+  double agg_row_ms = 0.5e-3;         ///< per row aggregated into heatmap bins
+
+  // --- join costs ---
+  double nl_probe_ms = 4e-3;          ///< index nested loop, per outer row
+  double hash_build_ms = 2e-3;        ///< per build-side row
+  double hash_probe_ms = 1e-3;        ///< per probe-side row
+  double sort_row_ms = 4e-3;          ///< per row sorted (log factor folded in)
+  double merge_row_ms = 0.8e-3;       ///< per row merged
+  double join_output_ms = 0.5e-3;     ///< per joined output row
+
+  // --- planner cost-model miscalibration ---
+  // The optimizer estimates plan times with its *own* cost constants, which
+  // deviate from the engine's true ones (PostgreSQL's random_page_cost-style
+  // unit errors). The planner believes random heap fetches are cheaper than
+  // they are, so near the viability boundary it prefers heap-heavy
+  // single-index plans where only an index-intersection plan is viable.
+  double planner_heap_fetch_factor = 0.25;
+  double planner_scan_factor = 0.7;
+  double planner_residual_factor = 0.5;
+
+  // --- planning overheads (virtual ms) ---
+  double optimizer_ms = 5.0;          ///< cost of one optimizer planning pass
+
+  // --- stochastic behaviours (deterministic per (query, plan) seed) ---
+  double noise_sigma = 0.0;           ///< lognormal sigma on execution time
+  double buffer_hit_prob = 0.0;       ///< chance a plan runs warm-cache
+  double buffer_speedup = 1.0;        ///< divisor applied on a warm-cache hit
+  double plan_instability_prob = 0.0; ///< chance the engine ignores index hints
+                                      ///< and re-plans (commercial DBs do this)
+
+  /// PostgreSQL-like default profile used by most experiments.
+  static EngineProfile PostgresLike();
+
+  /// Commercial-database profile (paper Section 7.6 / Fig 19b): buffering and
+  /// dynamic plan changes add variance the sampling QTE cannot see.
+  static EngineProfile CommercialLike();
+};
+
+}  // namespace maliva
+
+#endif  // MALIVA_ENGINE_PROFILE_H_

@@ -1,0 +1,110 @@
+#include "harness/experiment.h"
+
+#include <iomanip>
+
+#include "util/string_util.h"
+
+namespace maliva {
+
+ExperimentResult RunExperiment(const std::vector<Approach>& approaches,
+                               const BucketedWorkload& workload) {
+  ExperimentResult result;
+  for (const Approach& a : approaches) result.approach_names.push_back(a.name);
+
+  for (size_t b = 0; b < workload.buckets.size(); ++b) {
+    BucketMetrics bm;
+    bm.label = workload.scheme.Label(b);
+    bm.num_queries = workload.buckets[b].size();
+    bm.per_approach.resize(approaches.size());
+
+    for (size_t ai = 0; ai < approaches.size(); ++ai) {
+      ApproachMetrics& m = bm.per_approach[ai];
+      if (bm.num_queries == 0) continue;
+      size_t viable = 0;
+      double total = 0.0, plan = 0.0, exec = 0.0, quality = 0.0;
+      for (const Query* q : workload.buckets[b]) {
+        RewriteOutcome out = approaches[ai].rewrite(*q);
+        viable += out.viable ? 1 : 0;
+        total += out.total_ms;
+        plan += out.planning_ms;
+        exec += out.exec_ms;
+        quality += out.quality;
+      }
+      double n = static_cast<double>(bm.num_queries);
+      m.vqp = 100.0 * static_cast<double>(viable) / n;
+      m.aqrt_ms = total / n;
+      m.plan_ms = plan / n;
+      m.exec_ms = exec / n;
+      m.quality = quality / n;
+    }
+    result.buckets.push_back(std::move(bm));
+  }
+  return result;
+}
+
+namespace {
+
+void PrintHeader(const ExperimentResult& result, const std::string& title,
+                 std::ostream& os) {
+  os << "\n== " << title << " ==\n";
+  os << std::left << std::setw(8) << "bucket" << std::setw(8) << "n";
+  for (const std::string& name : result.approach_names) {
+    os << std::setw(22) << name;
+  }
+  os << "\n";
+}
+
+}  // namespace
+
+void PrintVqpTable(const ExperimentResult& result, const std::string& title,
+                   std::ostream& os) {
+  PrintHeader(result, title + " | viable query % (VQP)", os);
+  for (const BucketMetrics& bm : result.buckets) {
+    os << std::left << std::setw(8) << bm.label << std::setw(8) << bm.num_queries;
+    for (const ApproachMetrics& m : bm.per_approach) {
+      os << std::setw(22) << FormatDouble(m.vqp, 1);
+    }
+    os << "\n";
+  }
+}
+
+void PrintAqrtTable(const ExperimentResult& result, const std::string& title,
+                    std::ostream& os) {
+  PrintHeader(result, title + " | avg response time s (plan+query)", os);
+  for (const BucketMetrics& bm : result.buckets) {
+    os << std::left << std::setw(8) << bm.label << std::setw(8) << bm.num_queries;
+    for (const ApproachMetrics& m : bm.per_approach) {
+      std::string cell = FormatDouble(m.aqrt_ms / 1000.0, 3) + " (" +
+                         FormatDouble(m.plan_ms / 1000.0, 3) + "+" +
+                         FormatDouble(m.exec_ms / 1000.0, 3) + ")";
+      os << std::setw(22) << cell;
+    }
+    os << "\n";
+  }
+}
+
+void PrintQualityTable(const ExperimentResult& result, const std::string& title,
+                       std::ostream& os) {
+  PrintHeader(result, title + " | avg Jaccard quality", os);
+  for (const BucketMetrics& bm : result.buckets) {
+    os << std::left << std::setw(8) << bm.label << std::setw(8) << bm.num_queries;
+    for (const ApproachMetrics& m : bm.per_approach) {
+      os << std::setw(22) << FormatDouble(m.quality, 3);
+    }
+    os << "\n";
+  }
+}
+
+void PrintBucketSizes(const BucketedWorkload& workload, const std::string& title,
+                      std::ostream& os) {
+  os << "\n== " << title << " | queries per viable-plan bucket ==\n";
+  for (size_t b = 0; b < workload.buckets.size(); ++b) {
+    os << std::left << std::setw(8) << workload.scheme.Label(b)
+       << workload.buckets[b].size() << "\n";
+  }
+  if (!workload.out_of_range.empty()) {
+    os << std::left << std::setw(8) << "other" << workload.out_of_range.size() << "\n";
+  }
+}
+
+}  // namespace maliva

@@ -1,0 +1,62 @@
+// Experiment runner: evaluates rewriting approaches per difficulty bucket and
+// prints paper-style tables (VQP, AQRT with plan/query breakdown, quality).
+
+#ifndef MALIVA_HARNESS_EXPERIMENT_H_
+#define MALIVA_HARNESS_EXPERIMENT_H_
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/rewriter.h"
+#include "workload/difficulty.h"
+
+namespace maliva {
+
+/// One query-rewriting approach under evaluation.
+struct Approach {
+  std::string name;
+  std::function<RewriteOutcome(const Query&)> rewrite;
+};
+
+/// Aggregated metrics of one approach over one difficulty bucket.
+struct ApproachMetrics {
+  double vqp = 0.0;        ///< viable-query percentage [0, 100]
+  double aqrt_ms = 0.0;    ///< mean total response time
+  double plan_ms = 0.0;    ///< mean planning time component
+  double exec_ms = 0.0;    ///< mean execution time component
+  double quality = 1.0;    ///< mean visualization quality
+};
+
+/// Metrics of all approaches for one bucket.
+struct BucketMetrics {
+  std::string label;
+  size_t num_queries = 0;
+  std::vector<ApproachMetrics> per_approach;
+};
+
+/// A full experiment: approaches x buckets.
+struct ExperimentResult {
+  std::vector<std::string> approach_names;
+  std::vector<BucketMetrics> buckets;
+};
+
+/// Runs every approach on every bucketed query.
+ExperimentResult RunExperiment(const std::vector<Approach>& approaches,
+                               const BucketedWorkload& workload);
+
+/// Paper-style table printers (gnuplot-friendly columns).
+void PrintVqpTable(const ExperimentResult& result, const std::string& title,
+                   std::ostream& os = std::cout);
+void PrintAqrtTable(const ExperimentResult& result, const std::string& title,
+                    std::ostream& os = std::cout);
+void PrintQualityTable(const ExperimentResult& result, const std::string& title,
+                       std::ostream& os = std::cout);
+/// Bucket sizes (Table 2 / Table 3 rows).
+void PrintBucketSizes(const BucketedWorkload& workload, const std::string& title,
+                      std::ostream& os = std::cout);
+
+}  // namespace maliva
+
+#endif  // MALIVA_HARNESS_EXPERIMENT_H_

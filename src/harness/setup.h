@@ -1,0 +1,102 @@
+// Approach factory: owns QTEs, trains agents, and wires rewriters into
+// Approach closures for the experiment runner.
+
+#ifndef MALIVA_HARNESS_SETUP_H_
+#define MALIVA_HARNESS_SETUP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/bao.h"
+#include "baselines/baseline.h"
+#include "core/trainer.h"
+#include "harness/experiment.h"
+#include "qte/accurate_qte.h"
+#include "qte/sampling_qte.h"
+#include "quality/quality.h"
+#include "workload/scenario.h"
+
+namespace maliva {
+
+/// Builds and owns everything needed to evaluate the paper's approaches on
+/// one scenario. Keep alive while the returned Approach closures are used.
+class ExperimentSetup {
+ public:
+  struct Options {
+    TrainerConfig trainer;
+    /// Agents trained per approach; the best on the validation workload is
+    /// kept (hold-out validation, Section 7.1).
+    size_t num_agent_seeds = 2;
+    double bao_per_plan_cost_ms = 10.0;
+    /// Reward weight for quality-aware agents (Eq 2).
+    double beta = 0.5;
+  };
+
+  ExperimentSetup(Scenario* scenario, Options options);
+  ~ExperimentSetup();
+
+  /// No-rewriting baseline (backend optimizer).
+  Approach Baseline();
+  /// MDP agent with the accurate QTE. Trains on first call.
+  Approach MdpAccurate();
+  /// MDP agent with the sampling (approximate) QTE. Trains on first call.
+  Approach MdpApproximate();
+  /// Bao comparator. Trains its plan-feature QTE on first call.
+  Approach Bao();
+  /// Brute-force enumeration with the sampling QTE.
+  Approach NaiveApproximate();
+
+  /// Quality-aware approaches over hint x approximation-rule options.
+  /// `rules` must contain approximate rules only.
+  Approach OneStageQualityAware(const std::vector<ApproxRule>& rules);
+  Approach TwoStageQualityAware(const std::vector<ApproxRule>& rules);
+
+  /// Trains an MDP agent (accurate QTE) on an explicit workload and returns
+  /// per-iteration stats — used by the learning-curve experiment (Fig 21).
+  std::unique_ptr<QAgent> TrainAgentOn(const std::vector<const Query*>& workload,
+                                       uint64_t seed,
+                                       std::vector<Trainer::IterationStats>* history);
+
+  /// Evaluates a trained agent's VQP over a workload (accurate QTE env).
+  double EvaluateAgentVqp(const QAgent& agent,
+                          const std::vector<const Query*>& workload) const;
+
+  Scenario* scenario() { return scenario_; }
+  RewriterEnv MakeEnv(QueryTimeEstimator* qte, double beta = 1.0,
+                      const RewriteOptionSet* options = nullptr) const;
+
+ private:
+  /// Trains `num_agent_seeds` agents, keeps the best by validation VQP.
+  std::unique_ptr<QAgent> TrainBest(const RewriterEnv& renv);
+
+  Scenario* scenario_;
+  Options options_;
+
+  std::unique_ptr<AccurateQte> accurate_qte_;
+  std::unique_ptr<SamplingQte> sampling_qte_;
+  std::unique_ptr<QualityOracle> quality_oracle_;
+
+  std::unique_ptr<QAgent> mdp_accurate_agent_;
+  std::unique_ptr<MalivaRewriter> mdp_accurate_;
+  std::unique_ptr<QAgent> mdp_approx_agent_;
+  std::unique_ptr<MalivaRewriter> mdp_approx_;
+
+  std::unique_ptr<BaoQte> bao_qte_;
+  std::unique_ptr<BaoRewriter> bao_;
+  std::unique_ptr<BaselineRewriter> baseline_;
+  std::unique_ptr<NaiveRewriter> naive_;
+
+  // Quality-aware machinery (option sets must outlive rewriters).
+  std::unique_ptr<RewriteOptionSet> one_stage_options_;
+  std::unique_ptr<QAgent> one_stage_agent_;
+  std::unique_ptr<MalivaRewriter> one_stage_;
+  std::unique_ptr<RewriteOptionSet> approx_only_options_;
+  std::unique_ptr<QAgent> two_stage_exact_agent_;
+  std::unique_ptr<QAgent> two_stage_approx_agent_;
+  std::unique_ptr<TwoStageRewriter> two_stage_;
+};
+
+}  // namespace maliva
+
+#endif  // MALIVA_HARNESS_SETUP_H_

@@ -1,0 +1,39 @@
+#include "index/rowset.h"
+
+#include <algorithm>
+
+namespace maliva {
+
+bool IsSortedUnique(const RowIdList& rows) {
+  for (size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i - 1] >= rows[i]) return false;
+  }
+  return true;
+}
+
+RowIdList IntersectSorted(const RowIdList& a, const RowIdList& b) {
+  RowIdList out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+RowIdList IntersectAll(std::vector<const RowIdList*> lists) {
+  if (lists.empty()) return {};
+  std::sort(lists.begin(), lists.end(),
+            [](const RowIdList* x, const RowIdList* y) { return x->size() < y->size(); });
+  RowIdList acc = *lists[0];
+  for (size_t i = 1; i < lists.size() && !acc.empty(); ++i) {
+    acc = IntersectSorted(acc, *lists[i]);
+  }
+  return acc;
+}
+
+RowIdList UnionSorted(const RowIdList& a, const RowIdList& b) {
+  RowIdList out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+}  // namespace maliva

@@ -1,0 +1,33 @@
+// Epsilon-greedy exploration schedule (Algorithm 1, lines 10-15).
+
+#ifndef MALIVA_ML_EPSILON_H_
+#define MALIVA_ML_EPSILON_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace maliva {
+
+/// Exponentially decaying exploration rate: starts high, decays toward `end`
+/// with the given step constant (paper: "start with a high probability of
+/// exploration and gradually decrease it").
+class EpsilonSchedule {
+ public:
+  EpsilonSchedule(double start, double end, double decay_steps)
+      : start_(start), end_(end), decay_steps_(std::max(1.0, decay_steps)) {}
+
+  double ValueAt(int64_t step) const {
+    double t = static_cast<double>(step) / decay_steps_;
+    return end_ + (start_ - end_) * std::exp(-t);
+  }
+
+ private:
+  double start_;
+  double end_;
+  double decay_steps_;
+};
+
+}  // namespace maliva
+
+#endif  // MALIVA_ML_EPSILON_H_

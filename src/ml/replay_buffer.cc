@@ -1,0 +1,24 @@
+#include "ml/replay_buffer.h"
+
+namespace maliva {
+
+void ReplayBuffer::Add(Experience exp) {
+  if (items_.size() < capacity_) {
+    items_.push_back(std::move(exp));
+    return;
+  }
+  items_[next_] = std::move(exp);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<const Experience*> ReplayBuffer::Sample(size_t k, Rng* rng) const {
+  std::vector<const Experience*> out;
+  if (items_.empty()) return out;
+  k = std::min(k, items_.size());
+  std::vector<size_t> idx = rng->SampleWithoutReplacement(items_.size(), k);
+  out.reserve(k);
+  for (size_t i : idx) out.push_back(&items_[i]);
+  return out;
+}
+
+}  // namespace maliva

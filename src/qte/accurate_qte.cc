@@ -1,0 +1,31 @@
+#include "qte/accurate_qte.h"
+
+#include <cassert>
+
+namespace maliva {
+
+QteEstimate AccurateQte::Estimate(const QteContext& ctx, size_t ro_index,
+                                  SelectivityCache* cache) {
+  assert(ctx.query != nullptr && ctx.options != nullptr && ctx.oracle != nullptr);
+  QteEstimate out;
+  out.cost_ms = CollectCostMs(ctx, ro_index, *cache);
+
+  // Mark the needed selectivities as collected (with their true values, which
+  // later estimators may reuse).
+  size_t m = ctx.query->predicates.size();
+  for (size_t slot : ctx.NeededSlots(ro_index)) {
+    if (cache->Has(slot)) continue;
+    const Predicate& pred =
+        slot < m ? ctx.query->predicates[slot]
+                 : ctx.query->join->right_predicates[slot - m];
+    const std::string& table =
+        slot < m ? ctx.query->table : ctx.query->join->right_table;
+    Result<double> sel = ctx.engine->TrueSelectivity(table, pred);
+    cache->Set(slot, sel.ok() ? sel.value() : 0.0);
+  }
+
+  out.est_ms = ctx.oracle->TrueTimeMs(*ctx.query, (*ctx.options)[ro_index]);
+  return out;
+}
+
+}  // namespace maliva

@@ -1,0 +1,29 @@
+// Accurate QTE: returns the true execution time of the rewritten query.
+//
+// Used by the paper (Section 7.1) to isolate estimation *cost* from
+// estimation *error*: estimates are exact, but each estimation still pays the
+// unit cost per collected selectivity.
+
+#ifndef MALIVA_QTE_ACCURATE_QTE_H_
+#define MALIVA_QTE_ACCURATE_QTE_H_
+
+#include "qte/qte.h"
+
+namespace maliva {
+
+/// Ground-truth estimator with configurable collection cost.
+class AccurateQte : public QueryTimeEstimator {
+ public:
+  const char* name() const override { return "Accurate-QTE"; }
+
+  /// Exact estimates require thorough statistics collection: twice the unit
+  /// cost of the sampling QTE (drives the paper's Fig 16 budget crossover).
+  double CostFactor() const override { return 2.0; }
+
+  QteEstimate Estimate(const QteContext& ctx, size_t ro_index,
+                       SelectivityCache* cache) override;
+};
+
+}  // namespace maliva
+
+#endif  // MALIVA_QTE_ACCURATE_QTE_H_

@@ -1,0 +1,41 @@
+// Cached ground-truth execution times of rewritten queries.
+//
+// The accurate QTE, the MDP reward function, and the evaluation harness all
+// need the true (virtual) execution time of applying a rewrite option to a
+// query. Executing a plan is deterministic, so results are computed once and
+// memoized here.
+
+#ifndef MALIVA_QTE_PLAN_TIME_ORACLE_H_
+#define MALIVA_QTE_PLAN_TIME_ORACLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "engine/engine.h"
+#include "query/rewritten_query.h"
+
+namespace maliva {
+
+/// Memoized Engine::Execute by (query id, rewrite option) identity.
+class PlanTimeOracle {
+ public:
+  explicit PlanTimeOracle(const Engine* engine) : engine_(engine) {}
+
+  /// True virtual execution time of `option` applied to `query`.
+  double TrueTimeMs(const Query& query, const RewriteOption& option) const;
+
+  /// Number of distinct (query, option) executions performed so far.
+  size_t CacheSize() const { return cache_.size(); }
+
+  const Engine* engine() const { return engine_; }
+
+ private:
+  static uint64_t Key(const Query& query, const RewriteOption& option);
+
+  const Engine* engine_;
+  mutable std::unordered_map<uint64_t, double> cache_;
+};
+
+}  // namespace maliva
+
+#endif  // MALIVA_QTE_PLAN_TIME_ORACLE_H_

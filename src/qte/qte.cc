@@ -1,0 +1,78 @@
+#include "qte/qte.h"
+
+#include <cassert>
+
+namespace maliva {
+
+namespace {
+
+uint64_t MixSlotSeed(uint64_t seed, uint64_t query_id, uint64_t slot) {
+  uint64_t h = seed;
+  auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(query_id);
+  mix(slot);
+  return h;
+}
+
+}  // namespace
+
+size_t QteContext::NumSlots() const {
+  size_t n = query->predicates.size();
+  if (query->join.has_value()) n += query->join->right_predicates.size();
+  return n;
+}
+
+std::vector<size_t> QteContext::NeededSlots(size_t ro_index) const {
+  assert(ro_index < options->size());
+  const RewriteOption& ro = (*options)[ro_index];
+  assert(ro.hints.index_mask.has_value() &&
+         "rewrite options in Omega must carry explicit index hints");
+  uint32_t mask = *ro.hints.index_mask;
+  size_t m = query->predicates.size();
+
+  std::vector<size_t> slots;
+  if (mask == 0) {
+    // Full scan: the output-size estimate needs every base selectivity.
+    for (size_t i = 0; i < m; ++i) slots.push_back(i);
+  } else {
+    for (size_t i = 0; i < m; ++i) {
+      if ((mask >> i) & 1u) slots.push_back(i);
+    }
+  }
+  if (query->join.has_value()) {
+    for (size_t r = 0; r < query->join->right_predicates.size(); ++r) {
+      slots.push_back(m + r);
+    }
+  }
+  return slots;
+}
+
+double QteContext::ActualSlotCostMs(size_t slot) const {
+  // Deterministic +-25% jitter around the unit cost: the state's C_i values
+  // are rough estimates, the transition charges the actual cost (Fig 7).
+  uint64_t h = MixSlotSeed(jitter_seed, query->id, slot);
+  double unit = static_cast<double>((h >> 11) % 1000) / 1000.0;  // [0, 1)
+  return unit_cost_ms * (0.75 + 0.5 * unit);
+}
+
+double QueryTimeEstimator::CollectCostMs(const QteContext& ctx, size_t ro_index,
+                                         const SelectivityCache& cache) const {
+  double cost = ctx.model_eval_ms;
+  for (size_t slot : ctx.NeededSlots(ro_index)) {
+    if (!cache.Has(slot)) cost += CostFactor() * ctx.ActualSlotCostMs(slot);
+  }
+  return cost;
+}
+
+double QueryTimeEstimator::PredictCostMs(const QteContext& ctx, size_t ro_index,
+                                         const SelectivityCache& cache) const {
+  double cost = ctx.model_eval_ms;
+  for (size_t slot : ctx.NeededSlots(ro_index)) {
+    if (!cache.Has(slot)) cost += CostFactor() * ctx.unit_cost_ms;
+  }
+  return cost;
+}
+
+}  // namespace maliva

@@ -1,0 +1,55 @@
+#include "qte/sampling_qte.h"
+
+#include <cassert>
+
+#include "engine/optimizer.h"
+
+namespace maliva {
+
+QteEstimate SamplingQte::Estimate(const QteContext& ctx, size_t ro_index,
+                                  SelectivityCache* cache) {
+  assert(ctx.query != nullptr && ctx.options != nullptr && ctx.engine != nullptr);
+  const Query& query = *ctx.query;
+  const RewriteOption& option = (*ctx.options)[ro_index];
+  size_t m = query.predicates.size();
+
+  QteEstimate out;
+  out.cost_ms = CollectCostMs(ctx, ro_index, *cache);
+
+  // Collect missing selectivities by count(*) on the QTE sample table.
+  for (size_t slot : ctx.NeededSlots(ro_index)) {
+    if (cache->Has(slot)) continue;
+    const Predicate& pred = slot < m ? query.predicates[slot]
+                                     : query.join->right_predicates[slot - m];
+    const std::string& table = slot < m ? query.table : query.join->right_table;
+    Result<double> sel = ctx.engine->SampledSelectivity(table, pred, ctx.qte_sample_rate);
+    // Fall back to optimizer statistics when no sample table was built for
+    // the target (e.g. dimension tables).
+    if (!sel.ok()) {
+      const TableEntry* entry = ctx.engine->FindEntry(table);
+      assert(entry != nullptr);
+      cache->Set(slot, entry->stats->EstimateSelectivity(pred));
+    } else {
+      cache->Set(slot, sel.value());
+    }
+  }
+
+  // Build the selectivity vector: collected slots use sampled values,
+  // uncollected ones fall back to (cheap) optimizer statistics.
+  const Optimizer& opt = ctx.engine->optimizer();
+  SelectivityVector stats_sels = opt.EstimatedSelectivities(query);
+  SelectivityVector sels = stats_sels;
+  for (size_t i = 0; i < m; ++i) {
+    if (cache->Has(i)) sels.base[i] = cache->Get(i);
+  }
+  for (size_t r = 0; r < sels.right.size(); ++r) {
+    if (cache->Has(m + r)) sels.right[r] = cache->Get(m + r);
+  }
+
+  PlanSpec spec = opt.ResolvePlan(query, option);
+  PlanCards cards = opt.CardsFromSelectivities(query, spec, sels);
+  out.est_ms = ctx.engine->cost_model().PlanTimeMs(cards);
+  return out;
+}
+
+}  // namespace maliva

@@ -1,0 +1,28 @@
+// Sampling-based approximate QTE (Section 4.2, after Wu et al. [67]).
+//
+// Estimates each predicate's selectivity by running count(*) on a small
+// sample table, feeds the values into the engine's analytic cost model, and
+// returns the model's prediction. Error sources faithfully reproduced:
+// sampling noise on rare predicates, the independence assumption across
+// conjuncts, and — on the commercial profile — execution behaviours
+// (buffering, plan instability) the model cannot see at all.
+
+#ifndef MALIVA_QTE_SAMPLING_QTE_H_
+#define MALIVA_QTE_SAMPLING_QTE_H_
+
+#include "qte/qte.h"
+
+namespace maliva {
+
+/// Approximate estimator: sampled selectivities through the analytic model.
+class SamplingQte : public QueryTimeEstimator {
+ public:
+  const char* name() const override { return "Approximate-QTE"; }
+
+  QteEstimate Estimate(const QteContext& ctx, size_t ro_index,
+                       SelectivityCache* cache) override;
+};
+
+}  // namespace maliva
+
+#endif  // MALIVA_QTE_SAMPLING_QTE_H_

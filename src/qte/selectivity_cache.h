@@ -1,0 +1,52 @@
+// Per-query cache of collected predicate selectivities.
+//
+// Collecting one selectivity costs tens of (virtual) milliseconds; once a
+// QTE collects it for one rewritten query it is free for every later RQ
+// sharing the predicate. This cache is what makes the estimation costs C_i in
+// the MDP state drop as the agent explores (paper Fig 7).
+
+#ifndef MALIVA_QTE_SELECTIVITY_CACHE_H_
+#define MALIVA_QTE_SELECTIVITY_CACHE_H_
+
+#include <cassert>
+#include <optional>
+#include <vector>
+
+namespace maliva {
+
+/// Slot-indexed selectivity store: slots [0, m) are the base predicates,
+/// slots [m, m + r) the join right-side predicates.
+class SelectivityCache {
+ public:
+  explicit SelectivityCache(size_t num_slots) : slots_(num_slots) {}
+
+  size_t num_slots() const { return slots_.size(); }
+
+  bool Has(size_t slot) const {
+    assert(slot < slots_.size());
+    return slots_[slot].has_value();
+  }
+
+  double Get(size_t slot) const {
+    assert(Has(slot));
+    return *slots_[slot];
+  }
+
+  void Set(size_t slot, double selectivity) {
+    assert(slot < slots_.size());
+    slots_[slot] = selectivity;
+  }
+
+  size_t NumCollected() const {
+    size_t n = 0;
+    for (const auto& s : slots_) n += s.has_value() ? 1 : 0;
+    return n;
+  }
+
+ private:
+  std::vector<std::optional<double>> slots_;
+};
+
+}  // namespace maliva
+
+#endif  // MALIVA_QTE_SELECTIVITY_CACHE_H_

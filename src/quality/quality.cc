@@ -1,0 +1,102 @@
+#include "quality/quality.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace maliva {
+
+double JaccardIds(const VisResult& a, const VisResult& b) {
+  if (a.ids.empty() && b.ids.empty()) return 1.0;
+  std::unordered_set<int64_t> sa(a.ids.begin(), a.ids.end());
+  size_t inter = 0;
+  std::unordered_set<int64_t> sb(b.ids.begin(), b.ids.end());
+  for (int64_t id : sb) {
+    if (sa.count(id) > 0) ++inter;
+  }
+  size_t uni = sa.size() + sb.size() - inter;
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double JaccardBins(const VisResult& a, const VisResult& b) {
+  if (a.bins.empty() && b.bins.empty()) return 1.0;
+  size_t inter = 0;
+  for (const auto& [bin, count] : b.bins) {
+    if (a.bins.count(bin) > 0) ++inter;
+  }
+  size_t uni = a.bins.size() + b.bins.size() - inter;
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double DistributionPrecision(const VisResult& exact, const VisResult& approx) {
+  double total_exact = 0.0;
+  double total_approx = 0.0;
+  for (const auto& [bin, count] : exact.bins) total_exact += static_cast<double>(count);
+  for (const auto& [bin, count] : approx.bins) total_approx += static_cast<double>(count);
+  if (total_exact == 0.0 && total_approx == 0.0) return 1.0;
+  if (total_exact == 0.0 || total_approx == 0.0) return 0.0;
+
+  double l1 = 0.0;
+  for (const auto& [bin, count] : exact.bins) {
+    double pe = static_cast<double>(count) / total_exact;
+    auto it = approx.bins.find(bin);
+    double pa = it == approx.bins.end()
+                    ? 0.0
+                    : static_cast<double>(it->second) / total_approx;
+    l1 += std::abs(pe - pa);
+  }
+  for (const auto& [bin, count] : approx.bins) {
+    if (exact.bins.count(bin) == 0) l1 += static_cast<double>(count) / total_approx;
+  }
+  return std::max(0.0, 1.0 - 0.5 * l1);
+}
+
+double VisQuality(const Query& query, const VisResult& exact, const VisResult& approx) {
+  if (query.output == OutputKind::kScatter) return JaccardIds(exact, approx);
+  return JaccardBins(exact, approx);
+}
+
+namespace {
+
+uint64_t OptionKey(const Query& query, const RewriteOption& option) {
+  uint64_t h = query.id * 0x9e3779b97f4a7c15ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(option.hints.index_mask.has_value() ? (*option.hints.index_mask + 1) : 0);
+  mix(static_cast<uint64_t>(option.hints.join_method));
+  mix(static_cast<uint64_t>(option.approx.kind));
+  mix(std::bit_cast<uint64_t>(option.approx.fraction));
+  return h;
+}
+
+}  // namespace
+
+double QualityOracle::Quality(const Query& query, const RewriteOption& option) const {
+  if (!option.approx.IsApproximate()) return 1.0;
+
+  uint64_t key = OptionKey(query, option);
+  auto it = quality_cache_.find(key);
+  if (it != quality_cache_.end()) return it->second;
+
+  auto exact_it = exact_cache_.find(query.id);
+  if (exact_it == exact_cache_.end()) {
+    RewrittenQuery exact_rq{&query, RewriteOption{}};
+    Result<ExecResult> exact = engine_->Execute(exact_rq);
+    assert(exact.ok());
+    exact_it = exact_cache_.emplace(query.id, std::move(exact.value().vis)).first;
+  }
+
+  RewrittenQuery rq{&query, option};
+  Result<ExecResult> approx = engine_->Execute(rq);
+  assert(approx.ok());
+  double q = VisQuality(query, exact_it->second, approx.value().vis);
+  quality_cache_.emplace(key, q);
+  return q;
+}
+
+}  // namespace maliva

@@ -1,0 +1,52 @@
+// Visualization quality functions F(r(Q), r(RQ)) (Section 6.1).
+//
+// Maliva places no restriction on the quality function; we provide the
+// Jaccard similarity used by the paper's experiments (Fig 9, Section 7.7)
+// over both scatterplot ids and heatmap bins, plus the distribution-precision
+// metric of Sample+Seek for aggregate visualizations.
+
+#ifndef MALIVA_QUALITY_QUALITY_H_
+#define MALIVA_QUALITY_QUALITY_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "engine/engine.h"
+#include "query/rewritten_query.h"
+
+namespace maliva {
+
+/// Jaccard similarity of two id sets (scatterplot visualizations).
+double JaccardIds(const VisResult& a, const VisResult& b);
+
+/// Jaccard similarity of the non-empty bin sets (heatmap visualizations).
+double JaccardBins(const VisResult& a, const VisResult& b);
+
+/// Distribution precision (Sample+Seek style): 1 - 0.5 * L1 distance between
+/// the normalized bin-count distributions.
+double DistributionPrecision(const VisResult& exact, const VisResult& approx);
+
+/// Dispatches on the query's output kind: Jaccard over ids for scatterplots,
+/// Jaccard over bins for heatmaps. Exact results score 1.
+double VisQuality(const Query& query, const VisResult& exact, const VisResult& approx);
+
+/// Memoized quality of rewritten queries against their original query.
+/// Executing Q exactly is expensive; the paper only ever pays this cost in
+/// the offline training phase, and so do we.
+class QualityOracle {
+ public:
+  explicit QualityOracle(const Engine* engine) : engine_(engine) {}
+
+  /// F(r(Q), r(RQ)) for `option` applied to `query`; 1.0 for exact options
+  /// (no quality loss) without executing anything.
+  double Quality(const Query& query, const RewriteOption& option) const;
+
+ private:
+  const Engine* engine_;
+  mutable std::unordered_map<uint64_t, VisResult> exact_cache_;   // by query id
+  mutable std::unordered_map<uint64_t, double> quality_cache_;    // by (q, ro)
+};
+
+}  // namespace maliva
+
+#endif  // MALIVA_QUALITY_QUALITY_H_

@@ -1,0 +1,101 @@
+#include "query/hints.h"
+
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace maliva {
+
+const char* JoinMethodName(JoinMethod m) {
+  switch (m) {
+    case JoinMethod::kOptimizerChoice: return "optimizer";
+    case JoinMethod::kNestedLoop: return "nest-loop";
+    case JoinMethod::kHash: return "hash";
+    case JoinMethod::kMerge: return "merge";
+  }
+  return "unknown";
+}
+
+std::string HintSet::ToString(size_t num_predicates) const {
+  if (!HasAnyHint()) return "(no hints)";
+  std::string out = "/*+ ";
+  if (index_mask.has_value()) {
+    out += "indexes=";
+    for (size_t i = 0; i < num_predicates; ++i) {
+      out += ((*index_mask >> i) & 1u) ? '1' : '0';
+    }
+  }
+  if (join_method != JoinMethod::kOptimizerChoice) {
+    if (index_mask.has_value()) out += " ";
+    out += std::string("join=") + JoinMethodName(join_method);
+  }
+  out += " */";
+  return out;
+}
+
+std::string ApproxRule::ToString() const {
+  switch (kind) {
+    case ApproxKind::kNone: return "exact";
+    case ApproxKind::kLimit: return "limit(" + FormatDouble(fraction * 100.0, 3) + "%)";
+    case ApproxKind::kSampleTable:
+      return "sample(" + FormatDouble(fraction * 100.0, 0) + "%)";
+  }
+  return "unknown";
+}
+
+std::string RewriteOption::ToString(size_t num_predicates) const {
+  std::string out = hints.ToString(num_predicates);
+  if (approx.IsApproximate()) out += " " + approx.ToString();
+  return out;
+}
+
+RewriteOptionSet EnumerateHintOnlyOptions(size_t num_predicates) {
+  assert(num_predicates <= 16);
+  RewriteOptionSet options;
+  uint32_t total = 1u << num_predicates;
+  options.reserve(total);
+  for (uint32_t mask = 0; mask < total; ++mask) {
+    RewriteOption ro;
+    ro.hints.index_mask = mask;
+    options.push_back(ro);
+  }
+  return options;
+}
+
+RewriteOptionSet EnumerateJoinOptions(size_t num_predicates) {
+  assert(num_predicates <= 16);
+  RewriteOptionSet options;
+  uint32_t total = 1u << num_predicates;
+  const JoinMethod methods[] = {JoinMethod::kNestedLoop, JoinMethod::kHash,
+                                JoinMethod::kMerge};
+  options.reserve((total - 1) * 3);
+  for (uint32_t mask = 1; mask < total; ++mask) {
+    for (JoinMethod m : methods) {
+      RewriteOption ro;
+      ro.hints.index_mask = mask;
+      ro.hints.join_method = m;
+      options.push_back(ro);
+    }
+  }
+  return options;
+}
+
+RewriteOptionSet CrossWithApproxRules(const RewriteOptionSet& base,
+                                      const std::vector<ApproxRule>& rules,
+                                      bool include_exact) {
+  RewriteOptionSet options;
+  if (include_exact) {
+    options = base;
+  }
+  for (const RewriteOption& ro : base) {
+    for (const ApproxRule& rule : rules) {
+      assert(rule.IsApproximate());
+      RewriteOption combined = ro;
+      combined.approx = rule;
+      options.push_back(combined);
+    }
+  }
+  return options;
+}
+
+}  // namespace maliva

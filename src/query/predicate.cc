@@ -1,0 +1,55 @@
+#include "query/predicate.h"
+
+#include "util/string_util.h"
+
+namespace maliva {
+
+Predicate Predicate::Keyword(std::string column, std::string keyword) {
+  Predicate p;
+  p.type = PredicateType::kKeyword;
+  p.column = std::move(column);
+  p.keyword = ToLower(keyword);
+  return p;
+}
+
+Predicate Predicate::Time(std::string column, double lo, double hi) {
+  Predicate p;
+  p.type = PredicateType::kTimeRange;
+  p.column = std::move(column);
+  p.range = {lo, hi};
+  return p;
+}
+
+Predicate Predicate::Numeric(std::string column, double lo, double hi) {
+  Predicate p;
+  p.type = PredicateType::kNumericRange;
+  p.column = std::move(column);
+  p.range = {lo, hi};
+  return p;
+}
+
+Predicate Predicate::Spatial(std::string column, const BoundingBox& box) {
+  Predicate p;
+  p.type = PredicateType::kSpatialBox;
+  p.column = std::move(column);
+  p.box = box;
+  return p;
+}
+
+std::string Predicate::ToString() const {
+  switch (type) {
+    case PredicateType::kKeyword:
+      return column + " CONTAINS '" + keyword + "'";
+    case PredicateType::kTimeRange:
+    case PredicateType::kNumericRange:
+      return column + " BETWEEN " + FormatDouble(range.lo, 2) + " AND " +
+             FormatDouble(range.hi, 2);
+    case PredicateType::kSpatialBox:
+      return column + " IN BOX((" + FormatDouble(box.min_lon, 2) + "," +
+             FormatDouble(box.min_lat, 2) + "),(" + FormatDouble(box.max_lon, 2) + "," +
+             FormatDouble(box.max_lat, 2) + "))";
+  }
+  return "<invalid>";
+}
+
+}  // namespace maliva

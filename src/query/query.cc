@@ -1,0 +1,31 @@
+#include "query/query.h"
+
+#include "util/string_util.h"
+
+namespace maliva {
+
+std::string Query::ToString() const {
+  std::string out = "SELECT ";
+  if (output == OutputKind::kHeatmap) {
+    out += "BIN_ID(" + output_column + "), COUNT(*)";
+  } else {
+    out += "id, " + output_column;
+  }
+  out += " FROM " + table;
+  if (join.has_value()) {
+    out += " JOIN " + join->right_table + " ON " + table + "." + join->left_key + " = " +
+           join->right_table + "." + join->right_key;
+  }
+  std::vector<std::string> conds;
+  for (const Predicate& p : predicates) conds.push_back(p.ToString());
+  if (join.has_value()) {
+    for (const Predicate& p : join->right_predicates) {
+      conds.push_back(join->right_table + "." + p.ToString());
+    }
+  }
+  if (!conds.empty()) out += " WHERE " + Join(conds, " AND ");
+  if (output == OutputKind::kHeatmap) out += " GROUP BY BIN_ID(" + output_column + ")";
+  return out;
+}
+
+}  // namespace maliva

@@ -1,0 +1,94 @@
+#include "storage/column.h"
+
+namespace maliva {
+
+Column::Column(std::string name, ColumnType type) : name_(std::move(name)), type_(type) {
+  switch (type_) {
+    case ColumnType::kInt64:
+    case ColumnType::kTimestamp:
+      data_ = std::vector<int64_t>();
+      break;
+    case ColumnType::kDouble:
+      data_ = std::vector<double>();
+      break;
+    case ColumnType::kPoint:
+      data_ = std::vector<GeoPoint>();
+      break;
+    case ColumnType::kText:
+      data_ = std::vector<std::string>();
+      break;
+  }
+}
+
+size_t Column::size() const {
+  return std::visit([](const auto& v) { return v.size(); }, data_);
+}
+
+void Column::AppendInt64(int64_t v) {
+  assert(type_ == ColumnType::kInt64);
+  std::get<std::vector<int64_t>>(data_).push_back(v);
+}
+
+void Column::AppendDouble(double v) {
+  assert(type_ == ColumnType::kDouble);
+  std::get<std::vector<double>>(data_).push_back(v);
+}
+
+void Column::AppendTimestamp(int64_t v) {
+  assert(type_ == ColumnType::kTimestamp);
+  std::get<std::vector<int64_t>>(data_).push_back(v);
+}
+
+void Column::AppendPoint(GeoPoint v) {
+  assert(type_ == ColumnType::kPoint);
+  std::get<std::vector<GeoPoint>>(data_).push_back(v);
+}
+
+void Column::AppendText(std::string v) {
+  assert(type_ == ColumnType::kText);
+  std::get<std::vector<std::string>>(data_).push_back(std::move(v));
+}
+
+double Column::NumericAt(RowId row) const {
+  switch (type_) {
+    case ColumnType::kInt64:
+    case ColumnType::kTimestamp:
+      return static_cast<double>(std::get<std::vector<int64_t>>(data_)[row]);
+    case ColumnType::kDouble:
+      return std::get<std::vector<double>>(data_)[row];
+    default:
+      assert(false && "NumericAt on non-numeric column");
+      return 0.0;
+  }
+}
+
+const std::vector<int64_t>& Column::AsInt64() const {
+  assert(type_ == ColumnType::kInt64);
+  return std::get<std::vector<int64_t>>(data_);
+}
+
+const std::vector<double>& Column::AsDouble() const {
+  assert(type_ == ColumnType::kDouble);
+  return std::get<std::vector<double>>(data_);
+}
+
+const std::vector<int64_t>& Column::AsTimestamp() const {
+  assert(type_ == ColumnType::kTimestamp);
+  return std::get<std::vector<int64_t>>(data_);
+}
+
+const std::vector<GeoPoint>& Column::AsPoint() const {
+  assert(type_ == ColumnType::kPoint);
+  return std::get<std::vector<GeoPoint>>(data_);
+}
+
+const std::vector<std::string>& Column::AsText() const {
+  assert(type_ == ColumnType::kText);
+  return std::get<std::vector<std::string>>(data_);
+}
+
+void Column::Reserve(size_t n) {
+  std::visit([n](auto& v) { v.reserve(n); }, data_);
+}
+
+}  // namespace maliva

@@ -1,0 +1,62 @@
+// A typed column of values, stored contiguously.
+
+#ifndef MALIVA_STORAGE_COLUMN_H_
+#define MALIVA_STORAGE_COLUMN_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace maliva {
+
+/// One column of a Table. The active vector alternative matches `type()`.
+class Column {
+ public:
+  Column(std::string name, ColumnType type);
+
+  const std::string& name() const { return name_; }
+  ColumnType type() const { return type_; }
+  size_t size() const;
+
+  // Typed appenders. The caller must match the column type (checked by assert;
+  // schema mismatches are programming errors, not runtime conditions).
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendTimestamp(int64_t v);
+  void AppendPoint(GeoPoint v);
+  void AppendText(std::string v);
+
+  // Typed accessors.
+  int64_t Int64At(RowId row) const { return AsInt64()[row]; }
+  double DoubleAt(RowId row) const { return AsDouble()[row]; }
+  int64_t TimestampAt(RowId row) const { return AsTimestamp()[row]; }
+  const GeoPoint& PointAt(RowId row) const { return AsPoint()[row]; }
+  const std::string& TextAt(RowId row) const { return AsText()[row]; }
+
+  /// Numeric view widened to double; valid for int64/double/timestamp columns.
+  double NumericAt(RowId row) const;
+
+  // Whole-vector views (asserted type match).
+  const std::vector<int64_t>& AsInt64() const;
+  const std::vector<double>& AsDouble() const;
+  const std::vector<int64_t>& AsTimestamp() const;
+  const std::vector<GeoPoint>& AsPoint() const;
+  const std::vector<std::string>& AsText() const;
+
+  void Reserve(size_t n);
+
+ private:
+  std::string name_;
+  ColumnType type_;
+  std::variant<std::vector<int64_t>, std::vector<double>, std::vector<GeoPoint>,
+               std::vector<std::string>>
+      data_;
+};
+
+}  // namespace maliva
+
+#endif  // MALIVA_STORAGE_COLUMN_H_

@@ -1,0 +1,16 @@
+#include "storage/value.h"
+
+namespace maliva {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64: return "int64";
+    case ColumnType::kDouble: return "double";
+    case ColumnType::kTimestamp: return "timestamp";
+    case ColumnType::kPoint: return "point";
+    case ColumnType::kText: return "text";
+  }
+  return "unknown";
+}
+
+}  // namespace maliva

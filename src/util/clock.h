@@ -1,0 +1,36 @@
+// Virtual clock used to account planning and execution time.
+//
+// All times in the system are deterministic virtual milliseconds produced by
+// the cost model, so experiments are reproducible and independent of host
+// speed (see DESIGN.md "Virtual time").
+
+#ifndef MALIVA_UTIL_CLOCK_H_
+#define MALIVA_UTIL_CLOCK_H_
+
+#include <cassert>
+
+namespace maliva {
+
+/// Accumulates elapsed virtual milliseconds.
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  /// Advances the clock by `ms` (must be non-negative).
+  void Advance(double ms) {
+    assert(ms >= 0.0);
+    now_ms_ += ms;
+  }
+
+  /// Current virtual time in milliseconds since construction/reset.
+  double NowMs() const { return now_ms_; }
+
+  void Reset() { now_ms_ = 0.0; }
+
+ private:
+  double now_ms_ = 0.0;
+};
+
+}  // namespace maliva
+
+#endif  // MALIVA_UTIL_CLOCK_H_

@@ -1,0 +1,39 @@
+// Small descriptive-statistics helpers shared by the harness and tests.
+
+#ifndef MALIVA_UTIL_STATS_H_
+#define MALIVA_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace maliva {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x);
+
+  size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& xs);
+
+/// Sample standard deviation; 0 for fewer than two values.
+double Stddev(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Requires non-empty input.
+double Percentile(std::vector<double> xs, double p);
+
+}  // namespace maliva
+
+#endif  // MALIVA_UTIL_STATS_H_

@@ -1,0 +1,118 @@
+// Status / Result<T> error-handling primitives (RocksDB/Arrow style).
+//
+// Library code in this project does not throw exceptions across public API
+// boundaries; fallible operations return a Status or a Result<T>.
+
+#ifndef MALIVA_UTIL_STATUS_H_
+#define MALIVA_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace maliva {
+
+/// Outcome of a fallible operation. Cheap to copy when OK.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kOutOfRange,
+    kFailedPrecondition,
+    kInternal,
+    kUnimplemented,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) { return Status(Code::kNotFound, std::move(msg)); }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) { return Status(Code::kInternal, std::move(msg)); }
+  static Status Unimplemented(std::string msg) {
+    return Status(Code::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: bad column".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "Unknown";
+    switch (code_) {
+      case Code::kOk: name = "OK"; break;
+      case Code::kInvalidArgument: name = "InvalidArgument"; break;
+      case Code::kNotFound: name = "NotFound"; break;
+      case Code::kOutOfRange: name = "OutOfRange"; break;
+      case Code::kFailedPrecondition: name = "FailedPrecondition"; break;
+      case Code::kInternal: name = "Internal"; break;
+      case Code::kUnimplemented: name = "Unimplemented"; break;
+    }
+    return std::string(name) + ": " + message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// A value or an error Status. Access to value() requires ok().
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}           // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {    // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace maliva
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define MALIVA_RETURN_NOT_OK(expr)            \
+  do {                                        \
+    ::maliva::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+#endif  // MALIVA_UTIL_STATUS_H_

@@ -1,0 +1,215 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace maliva {
+
+namespace {
+
+/// Min/max of a numeric-ish column.
+std::pair<double, double> ColumnExtent(const Column& col) {
+  double lo = 0.0, hi = 0.0;
+  size_t n = col.size();
+  for (RowId r = 0; r < n; ++r) {
+    double v = col.NumericAt(r);
+    if (r == 0) {
+      lo = hi = v;
+    } else {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  return {lo, hi};
+}
+
+BoundingBox PointExtent(const Column& col) {
+  const std::vector<GeoPoint>& pts = col.AsPoint();
+  BoundingBox box{};
+  if (pts.empty()) return box;
+  box = BoundingBox{pts[0].lon, pts[0].lat, pts[0].lon, pts[0].lat};
+  for (const GeoPoint& p : pts) box = box.Extend(p);
+  return box;
+}
+
+}  // namespace
+
+std::vector<Query> GenerateQueries(const Table& base, const Table* right,
+                                   const QueryGenConfig& cfg) {
+  assert(!cfg.attrs.empty());
+  Rng rng(cfg.seed);
+
+  // Pre-compute per-attribute extents.
+  struct AttrInfo {
+    const Column* col;
+    PredicateType type;
+    double lo = 0.0, hi = 0.0;
+    BoundingBox box{};
+  };
+  std::vector<AttrInfo> infos;
+  for (const std::string& name : cfg.attrs) {
+    AttrInfo info;
+    info.col = &base.GetColumn(name);
+    switch (info.col->type()) {
+      case ColumnType::kText:
+        info.type = PredicateType::kKeyword;
+        break;
+      case ColumnType::kTimestamp:
+        info.type = PredicateType::kTimeRange;
+        std::tie(info.lo, info.hi) = ColumnExtent(*info.col);
+        break;
+      case ColumnType::kInt64:
+      case ColumnType::kDouble:
+        info.type = PredicateType::kNumericRange;
+        std::tie(info.lo, info.hi) = ColumnExtent(*info.col);
+        break;
+      case ColumnType::kPoint:
+        info.type = PredicateType::kSpatialBox;
+        info.box = PointExtent(*info.col);
+        break;
+    }
+    infos.push_back(info);
+  }
+
+  // Document frequencies, for popularity-weighted keyword selection, and the
+  // stopword cutoff (df of the `stopword_count`-th most frequent token).
+  std::unordered_map<std::string, int64_t> doc_freq;
+  int64_t stopword_cutoff = std::numeric_limits<int64_t>::max();
+  for (const AttrInfo& info : infos) {
+    if (info.type != PredicateType::kKeyword) continue;
+    const std::vector<std::string>& texts = info.col->AsText();
+    for (const std::string& text : texts) {
+      std::vector<std::string> tokens = Tokenize(text);
+      std::sort(tokens.begin(), tokens.end());
+      tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+      for (const std::string& tok : tokens) ++doc_freq[tok];
+    }
+  }
+  if (cfg.stopword_count > 0 && !doc_freq.empty()) {
+    std::vector<int64_t> freqs;
+    freqs.reserve(doc_freq.size());
+    for (const auto& [tok, df] : doc_freq) freqs.push_back(df);
+    size_t k = std::min(cfg.stopword_count, freqs.size()) - 1;
+    std::nth_element(freqs.begin(), freqs.begin() + static_cast<long>(k), freqs.end(),
+                     std::greater<int64_t>());
+    stopword_cutoff = freqs[k];
+  }
+
+  const Column* right_col = nullptr;
+  double right_lo = 0.0, right_hi = 0.0;
+  if (cfg.join) {
+    assert(right != nullptr);
+    right_col = &right->GetColumn(cfg.right_attr);
+    std::tie(right_lo, right_hi) = ColumnExtent(*right_col);
+  }
+
+  std::vector<Query> queries;
+  queries.reserve(cfg.num_queries);
+  size_t n = base.NumRows();
+  assert(n > 0);
+
+  for (size_t qi = 0; qi < cfg.num_queries; ++qi) {
+    RowId row = static_cast<RowId>(rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+    Query q;
+    q.id = cfg.id_base + qi;
+    q.table = base.name();
+    q.output = cfg.output;
+    q.output_column = cfg.output_column;
+
+    for (size_t a = 0; a < infos.size(); ++a) {
+      const AttrInfo& info = infos[a];
+      const std::string& name = cfg.attrs[a];
+      switch (info.type) {
+        case PredicateType::kKeyword: {
+          std::vector<std::string> tokens = Tokenize(info.col->TextAt(row));
+          std::sort(tokens.begin(), tokens.end());
+          tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+          assert(!tokens.empty());
+          // Drop stopwords (keep at least one token as fallback).
+          std::vector<std::string> keep;
+          for (const std::string& tok : tokens) {
+            if (doc_freq[tok] < stopword_cutoff) keep.push_back(tok);
+          }
+          if (!keep.empty()) tokens = std::move(keep);
+          size_t pick;
+          if (rng.Bernoulli(cfg.keyword_popular_prob)) {
+            // Document-frequency-weighted choice among the row's tokens.
+            double total = 0.0;
+            for (const std::string& tok : tokens) {
+              total += static_cast<double>(doc_freq[tok]);
+            }
+            double u = rng.Uniform(0.0, total);
+            double acc = 0.0;
+            pick = tokens.size() - 1;
+            for (size_t t = 0; t < tokens.size(); ++t) {
+              acc += static_cast<double>(doc_freq[tokens[t]]);
+              if (u <= acc) {
+                pick = t;
+                break;
+              }
+            }
+          } else {
+            pick = static_cast<size_t>(
+                rng.UniformInt(0, static_cast<int64_t>(tokens.size()) - 1));
+          }
+          q.predicates.push_back(Predicate::Keyword(name, tokens[pick]));
+          break;
+        }
+        case PredicateType::kTimeRange:
+        case PredicateType::kNumericRange: {
+          int z = static_cast<int>(rng.UniformInt(cfg.range_zoom_min, cfg.range_zoom_max));
+          double extent = info.hi - info.lo;
+          double length = extent / std::pow(2.0, z);
+          double left = info.col->NumericAt(row);
+          double lo = left;
+          double hi = std::min(info.hi, left + length);
+          if (info.type == PredicateType::kTimeRange) {
+            q.predicates.push_back(Predicate::Time(name, lo, hi));
+          } else {
+            q.predicates.push_back(Predicate::Numeric(name, lo, hi));
+          }
+          break;
+        }
+        case PredicateType::kSpatialBox: {
+          int z = static_cast<int>(
+              rng.UniformInt(cfg.spatial_zoom_min, cfg.spatial_zoom_max));
+          double frac = std::pow(2.0, -z);        // target area fraction
+          double edge = std::sqrt(frac);
+          const GeoPoint& center = info.col->PointAt(row);
+          double half_w = info.box.Width() * edge / 2.0;
+          double half_h = info.box.Height() * edge / 2.0;
+          BoundingBox box{center.lon - half_w, center.lat - half_h,
+                          center.lon + half_w, center.lat + half_h};
+          q.predicates.push_back(Predicate::Spatial(name, box));
+          break;
+        }
+      }
+    }
+
+    if (cfg.join) {
+      JoinSpec js;
+      js.right_table = cfg.right_table;
+      js.left_key = cfg.left_key;
+      js.right_key = cfg.right_key;
+      int z = static_cast<int>(rng.UniformInt(cfg.right_zoom_min, cfg.right_zoom_max));
+      double extent = right_hi - right_lo;
+      double length = extent / std::pow(2.0, z);
+      RowId rrow = static_cast<RowId>(
+          rng.UniformInt(0, static_cast<int64_t>(right->NumRows()) - 1));
+      double left = right_col->NumericAt(rrow);
+      js.right_predicates.push_back(
+          Predicate::Numeric(cfg.right_attr, left, std::min(right_hi, left + length)));
+      q.join = std::move(js);
+    }
+
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+}  // namespace maliva

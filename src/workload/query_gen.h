@@ -1,0 +1,62 @@
+// Visualization-query generator (paper Section 7.1, "Query workloads").
+//
+// Each query is built from a randomly sampled base row: the keyword condition
+// takes a random word of the row's text, range conditions start at the row's
+// value with a length drawn from a random zoom level (length = extent / 2^z),
+// and the spatial condition is a box centered at the row's point whose area
+// shrinks with the zoom level.
+
+#ifndef MALIVA_WORKLOAD_QUERY_GEN_H_
+#define MALIVA_WORKLOAD_QUERY_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "storage/table.h"
+#include "util/rng.h"
+
+namespace maliva {
+
+/// Generation knobs.
+struct QueryGenConfig {
+  std::vector<std::string> attrs;     ///< filter columns on the base table
+  size_t num_queries = 1200;
+  uint64_t seed = 9;
+  uint64_t id_base = 0;               ///< first query id (keeps ids unique)
+
+  OutputKind output = OutputKind::kHeatmap;
+  std::string output_column;          ///< point column for heatmaps
+
+  // Zoom-level ranges per condition type (selectivity target ~ 2^-z).
+  int range_zoom_min = 1, range_zoom_max = 12;     ///< time/numeric
+  int spatial_zoom_min = 2, spatial_zoom_max = 16; ///< box area fraction
+
+  /// Probability that the keyword condition picks the row's most *popular*
+  /// token (document-frequency weighted) instead of a uniform one. Real
+  /// visualization queries skew toward trending keywords ("covid"), which is
+  /// exactly where MCV-fallback estimation fails.
+  double keyword_popular_prob = 0.7;
+  /// The `stopword_count` globally most frequent tokens are never used as
+  /// query keywords (the paper samples "a non-stop word"). Stopwords are also
+  /// what the engine's MCV list covers, so excluding them concentrates query
+  /// keywords in the trending mid-tail band the statistics misestimate.
+  size_t stopword_count = 15;
+
+  // Join generation (optional).
+  bool join = false;
+  std::string right_table;
+  std::string left_key;
+  std::string right_key;
+  std::string right_attr;             ///< range condition column on the right
+  int right_zoom_min = 1, right_zoom_max = 6;
+};
+
+/// Generates queries over `base` (and optionally a join against `right`).
+/// `right` may be null when `config.join` is false.
+std::vector<Query> GenerateQueries(const Table& base, const Table* right,
+                                   const QueryGenConfig& config);
+
+}  // namespace maliva
+
+#endif  // MALIVA_WORKLOAD_QUERY_GEN_H_

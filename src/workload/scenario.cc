@@ -1,0 +1,145 @@
+#include "workload/scenario.h"
+
+#include <cassert>
+
+#include "util/rng.h"
+#include "workload/query_gen.h"
+#include "workload/taxi.h"
+#include "workload/tpch.h"
+#include "workload/twitter.h"
+
+namespace maliva {
+
+const char* DatasetKindName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kTwitter: return "Twitter";
+    case DatasetKind::kTaxi: return "NYC Taxi";
+    case DatasetKind::kTpch: return "TPC-H";
+  }
+  return "unknown";
+}
+
+Scenario BuildScenario(const ScenarioConfig& config) {
+  Scenario s;
+  s.config = config;
+  s.engine = std::make_unique<Engine>(config.profile, config.seed);
+
+  QueryGenConfig qg;
+  qg.num_queries = config.num_queries;
+  qg.seed = config.seed ^ 0x71657267;  // "qerg"
+  qg.id_base = config.seed * 1000000;
+  qg.output = config.output;
+
+  std::string base_table;
+  const Table* right_table_ptr = nullptr;
+
+  switch (config.kind) {
+    case DatasetKind::kTwitter: {
+      TwitterConfig tw;
+      tw.num_rows = config.num_rows;
+      tw.num_users = config.num_users;
+      tw.seed = config.seed;
+      std::unique_ptr<Table> tweets = GenerateTweetsTable(tw);
+
+      std::vector<std::string> all_attrs = {"text", "created_at", "coordinates",
+                                            "user_statuses_count",
+                                            "user_followers_count"};
+      assert(config.num_attrs >= 3 && config.num_attrs <= all_attrs.size());
+      s.attrs.assign(all_attrs.begin(),
+                     all_attrs.begin() + static_cast<long>(config.num_attrs));
+
+      Status st = s.engine->RegisterTable(std::move(tweets), s.attrs,
+                                          config.join ? std::vector<std::string>{"user_id"}
+                                                      : std::vector<std::string>{});
+      assert(st.ok());
+      (void)st;
+      base_table = "tweets";
+
+      if (config.join) {
+        std::unique_ptr<Table> users = GenerateUsersTable(tw);
+        Status ust = s.engine->RegisterTable(std::move(users), {"tweet_cnt"}, {"id"});
+        assert(ust.ok());
+        (void)ust;
+        right_table_ptr = s.engine->FindEntry("users")->table.get();
+        qg.join = true;
+        qg.right_table = "users";
+        qg.left_key = "user_id";
+        qg.right_key = "id";
+        qg.right_attr = "tweet_cnt";
+      }
+      qg.output_column = "coordinates";
+      break;
+    }
+    case DatasetKind::kTaxi: {
+      TaxiConfig tx;
+      tx.num_rows = config.num_rows;
+      tx.seed = config.seed;
+      std::unique_ptr<Table> trips = GenerateTaxiTable(tx);
+      s.attrs = {"pickup_datetime", "trip_distance", "pickup_coordinates"};
+      Status st = s.engine->RegisterTable(std::move(trips), s.attrs);
+      assert(st.ok());
+      (void)st;
+      base_table = "trips";
+      qg.output_column = "pickup_coordinates";
+      break;
+    }
+    case DatasetKind::kTpch: {
+      TpchConfig tp;
+      tp.num_rows = config.num_rows;
+      tp.seed = config.seed;
+      std::unique_ptr<Table> lineitem = GenerateLineitemTable(tp);
+      s.attrs = {"extended_price", "ship_date", "receipt_date"};
+      Status st = s.engine->RegisterTable(std::move(lineitem), s.attrs);
+      assert(st.ok());
+      (void)st;
+      base_table = "lineitem";
+      qg.output = OutputKind::kScatter;  // no point column in lineitem
+      break;
+    }
+  }
+
+  // Sample tables: the QTE sample plus any approximation-rule samples.
+  std::vector<double> rates = config.approx_sample_rates;
+  rates.push_back(config.qte_sample_rate);
+  Status st = s.engine->BuildSampleTables(base_table, rates, config.seed ^ 0x73616d70);
+  assert(st.ok());
+  (void)st;
+  if (config.join) {
+    Status rst = s.engine->BuildSampleTables("users", {config.qte_sample_rate},
+                                             config.seed ^ 0x73616d71);
+    assert(rst.ok());
+    (void)rst;
+  }
+
+  // Queries.
+  qg.attrs = s.attrs;
+  const Table& base = *s.engine->FindEntry(base_table)->table;
+  s.queries = GenerateQueries(base, right_table_ptr, qg);
+
+  // Rewrite options.
+  s.options = config.join ? EnumerateJoinOptions(s.attrs.size())
+                          : EnumerateHintOnlyOptions(s.attrs.size());
+
+  // Split: half evaluation; of the other half, 2/3 train, 1/3 validation.
+  std::vector<const Query*> shuffled;
+  shuffled.reserve(s.queries.size());
+  for (const Query& q : s.queries) shuffled.push_back(&q);
+  Rng rng(config.seed ^ 0x73706c69);  // "spli"
+  rng.Shuffle(&shuffled);
+  size_t eval_n = shuffled.size() / 2;
+  size_t train_n = (shuffled.size() - eval_n) * 2 / 3;
+  for (size_t i = 0; i < shuffled.size(); ++i) {
+    if (i < eval_n) {
+      s.evaluation.push_back(shuffled[i]);
+    } else if (i < eval_n + train_n) {
+      s.train.push_back(shuffled[i]);
+    } else {
+      s.validation.push_back(shuffled[i]);
+    }
+  }
+
+  s.oracle = std::make_unique<PlanTimeOracle>(s.engine.get());
+  return s;
+}
+
+}  // namespace maliva

@@ -1,0 +1,68 @@
+// Scenario assembly: dataset + engine + queries + rewrite options + splits.
+//
+// A Scenario is one experimental setting of the paper: a dataset loaded into
+// an engine (with indexes, statistics, and sample tables), a generated query
+// workload split into train/validation/evaluation, and the predefined rewrite
+// option set Omega.
+
+#ifndef MALIVA_WORKLOAD_SCENARIO_H_
+#define MALIVA_WORKLOAD_SCENARIO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "qte/plan_time_oracle.h"
+#include "query/hints.h"
+#include "query/query.h"
+
+namespace maliva {
+
+/// Which synthetic dataset backs the scenario.
+enum class DatasetKind { kTwitter, kTaxi, kTpch };
+
+const char* DatasetKindName(DatasetKind kind);
+
+/// Scenario parameters (defaults reproduce the paper's main setting).
+struct ScenarioConfig {
+  DatasetKind kind = DatasetKind::kTwitter;
+  size_t num_rows = 200000;
+  size_t num_users = 20000;      ///< Twitter join dimension table
+  size_t num_queries = 1200;
+  size_t num_attrs = 3;          ///< Twitter: 3 (8 ROs), 4 (16), 5 (32)
+  bool join = false;             ///< Twitter join workload (21 ROs)
+  OutputKind output = OutputKind::kHeatmap;
+
+  double tau_ms = 500.0;
+  double unit_cost_ms = 40.0;
+  double qte_sample_rate = 0.01;
+  std::vector<double> approx_sample_rates;  ///< sample tables for approx rules
+
+  EngineProfile profile = EngineProfile::PostgresLike();
+  uint64_t seed = 1;
+};
+
+/// A fully built experimental setting.
+struct Scenario {
+  ScenarioConfig config;
+  std::unique_ptr<Engine> engine;
+  std::unique_ptr<PlanTimeOracle> oracle;
+  std::vector<Query> queries;          ///< owns all queries
+  RewriteOptionSet options;            ///< hint-only (or join) option set
+
+  std::vector<const Query*> train;
+  std::vector<const Query*> validation;
+  std::vector<const Query*> evaluation;
+
+  /// Filter attribute names used by this scenario's queries.
+  std::vector<std::string> attrs;
+};
+
+/// Builds the engine, generates data and queries, and splits the workload
+/// (half evaluation; of the rest, 2/3 train and 1/3 validation — Section 7.1).
+Scenario BuildScenario(const ScenarioConfig& config);
+
+}  // namespace maliva
+
+#endif  // MALIVA_WORKLOAD_SCENARIO_H_

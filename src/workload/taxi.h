@@ -1,0 +1,34 @@
+// Synthetic NYC-Taxi-like dataset (paper Table 1, second row).
+//
+// Emulates 500M trip records: pickup time with rush-hour rhythm, pickup
+// location concentrated in Manhattan plus airport hotspots, and trip
+// distance correlated with pickup location (airport pickups run long) —
+// the correlation that defeats the optimizer's independence assumption.
+
+#ifndef MALIVA_WORKLOAD_TAXI_H_
+#define MALIVA_WORKLOAD_TAXI_H_
+
+#include <memory>
+
+#include "storage/table.h"
+
+namespace maliva {
+
+struct TaxiConfig {
+  size_t num_rows = 200000;
+  uint64_t seed = 4242;
+
+  // Greater-NYC bounding box.
+  double min_lon = -74.30, max_lon = -73.60;
+  double min_lat = 40.45, max_lat = 41.00;
+
+  int64_t start_epoch = 1262304000;          ///< 2010-01-01
+  int64_t duration_s = 3LL * 365 * 24 * 3600;  ///< 2010-2012
+};
+
+/// trips(id, pickup_datetime, trip_distance, pickup_coordinates)
+std::unique_ptr<Table> GenerateTaxiTable(const TaxiConfig& config);
+
+}  // namespace maliva
+
+#endif  // MALIVA_WORKLOAD_TAXI_H_

@@ -1,0 +1,57 @@
+#include "workload/tpch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace maliva {
+
+std::unique_ptr<Table> GenerateLineitemTable(const TpchConfig& cfg) {
+  Rng rng(cfg.seed);
+
+  Schema schema = {
+      {"id", ColumnType::kInt64},
+      {"extended_price", ColumnType::kDouble},
+      {"ship_date", ColumnType::kTimestamp},
+      {"receipt_date", ColumnType::kTimestamp},
+      {"quantity", ColumnType::kInt64},
+      {"discount", ColumnType::kDouble},
+  };
+  auto table = std::make_unique<Table>("lineitem", schema);
+  for (size_t c = 0; c < schema.size(); ++c) table->MutableColumnAt(c).Reserve(cfg.num_rows);
+
+  // Discrete part catalogue: extended_price = quantity x part unit price, so
+  // the price distribution is a spiky mixture (as in real TPC-H data) that
+  // sampled histograms cannot resolve.
+  constexpr size_t kNumParts = 150;
+  std::vector<double> unit_price(kNumParts);
+  for (double& p : unit_price) p = std::round(rng.LogNormal(6.8, 0.6) * 100.0) / 100.0;
+  ZipfTable part_dist(kNumParts, 0.9);
+
+  for (size_t i = 0; i < cfg.num_rows; ++i) {
+    int64_t ship = cfg.start_epoch + rng.UniformInt(0, cfg.duration_s - 1);
+    // Receipt lags shipment by Exp(mean 12 days), capped at 60 days.
+    double lag_days = std::min(60.0, rng.Exponential(1.0 / 12.0));
+    int64_t receipt = ship + static_cast<int64_t>(lag_days * 86400.0);
+    int64_t quantity = rng.UniformInt(1, 50);
+    double price =
+        static_cast<double>(quantity) * unit_price[static_cast<size_t>(
+                                            part_dist.Sample(&rng))];
+    double discount = static_cast<double>(rng.UniformInt(0, 10)) / 100.0;
+
+    table->MutableColumnAt(0).AppendInt64(static_cast<int64_t>(i));
+    table->MutableColumnAt(1).AppendDouble(price);
+    table->MutableColumnAt(2).AppendTimestamp(ship);
+    table->MutableColumnAt(3).AppendTimestamp(receipt);
+    table->MutableColumnAt(4).AppendInt64(quantity);
+    table->MutableColumnAt(5).AppendDouble(discount);
+  }
+  Status st = table->Seal();
+  assert(st.ok());
+  (void)st;
+  return table;
+}
+
+}  // namespace maliva

@@ -1,0 +1,31 @@
+// TPC-H-like lineitem fact table (paper Table 1, third row).
+//
+// Emulates a 300M-row lineitem: extended_price (lognormal), ship_date
+// (uniform over 7 years), receipt_date = ship_date + exponential lag.
+// ship/receipt correlation is the one estimation hazard here; numeric
+// histograms are otherwise accurate — matching the paper's observation that
+// comparators with optimizer-derived features fare best on TPC-H.
+
+#ifndef MALIVA_WORKLOAD_TPCH_H_
+#define MALIVA_WORKLOAD_TPCH_H_
+
+#include <memory>
+
+#include "storage/table.h"
+
+namespace maliva {
+
+struct TpchConfig {
+  size_t num_rows = 200000;
+  uint64_t seed = 7777;
+
+  int64_t start_epoch = 694224000;            ///< 1992-01-01
+  int64_t duration_s = 7LL * 365 * 24 * 3600; ///< 7 years
+};
+
+/// lineitem(id, extended_price, ship_date, receipt_date, quantity, discount)
+std::unique_ptr<Table> GenerateLineitemTable(const TpchConfig& config);
+
+}  // namespace maliva
+
+#endif  // MALIVA_WORKLOAD_TPCH_H_

@@ -1,0 +1,164 @@
+#include "workload/twitter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace maliva {
+
+namespace {
+
+struct Event {
+  std::string word;
+  int64_t time_center;
+  int64_t half_window;
+  size_t city;
+  double participation;
+};
+
+struct City {
+  double lon, lat, sigma;
+  double weight;
+};
+
+}  // namespace
+
+std::unique_ptr<Table> GenerateTweetsTable(const TwitterConfig& cfg) {
+  Rng rng(cfg.seed);
+  ZipfTable word_dist(static_cast<int64_t>(cfg.vocabulary), cfg.zipf_theta);
+  ZipfTable user_dist(static_cast<int64_t>(cfg.num_users), 1.05);
+
+  // Spatial city clusters with Zipfian weights.
+  std::vector<City> cities(cfg.num_cities);
+  {
+    double total = 0.0;
+    for (size_t c = 0; c < cities.size(); ++c) {
+      cities[c].lon = rng.Uniform(cfg.min_lon + 2.0, cfg.max_lon - 2.0);
+      cities[c].lat = rng.Uniform(cfg.min_lat + 1.5, cfg.max_lat - 1.5);
+      cities[c].sigma = rng.Uniform(0.3, 1.6);
+      cities[c].weight = 1.0 / std::pow(static_cast<double>(c + 1), 0.9);
+      total += cities[c].weight;
+    }
+    for (City& city : cities) city.weight /= total;
+  }
+  auto pick_city = [&]() {
+    double u = rng.Uniform(0.0, 1.0);
+    double acc = 0.0;
+    for (size_t c = 0; c < cities.size(); ++c) {
+      acc += cities[c].weight;
+      if (u <= acc) return c;
+    }
+    return cities.size() - 1;
+  };
+
+  // Bursty events: word x time window x city.
+  std::vector<Event> events(cfg.num_events);
+  for (size_t e = 0; e < events.size(); ++e) {
+    events[e].word = "event" + std::to_string(e);
+    events[e].time_center =
+        cfg.start_epoch + rng.UniformInt(0, cfg.duration_s - 1);
+    events[e].half_window = rng.UniformInt(1, 8) * 24 * 3600;  // 1-8 day half-width
+    events[e].city = pick_city();
+    events[e].participation =
+        rng.Uniform(cfg.event_participation_lo, cfg.event_participation_hi);
+  }
+
+  Schema schema = {
+      {"id", ColumnType::kInt64},
+      {"text", ColumnType::kText},
+      {"created_at", ColumnType::kTimestamp},
+      {"coordinates", ColumnType::kPoint},
+      {"user_statuses_count", ColumnType::kInt64},
+      {"user_followers_count", ColumnType::kInt64},
+      {"user_id", ColumnType::kInt64},
+  };
+  auto table = std::make_unique<Table>("tweets", schema);
+  for (size_t c = 0; c < schema.size(); ++c) table->MutableColumnAt(c).Reserve(cfg.num_rows);
+
+  for (size_t i = 0; i < cfg.num_rows; ++i) {
+    // Time: uniform base with a mild weekly rhythm via rejection.
+    int64_t ts;
+    for (;;) {
+      ts = cfg.start_epoch + rng.UniformInt(0, cfg.duration_s - 1);
+      double day_phase = static_cast<double>((ts / 86400) % 7) / 7.0;
+      double accept = 0.7 + 0.3 * std::sin(day_phase * 2.0 * M_PI);
+      if (rng.Uniform(0.0, 1.0) < accept) break;
+    }
+
+    // Location: from a city cluster (90%) or uniform noise (10%).
+    size_t city = pick_city();
+    GeoPoint p;
+    if (rng.Bernoulli(0.9)) {
+      const City& c = cities[city];
+      p.lon = std::clamp(rng.Normal(c.lon, c.sigma), cfg.min_lon, cfg.max_lon);
+      p.lat = std::clamp(rng.Normal(c.lat, c.sigma * 0.6), cfg.min_lat, cfg.max_lat);
+    } else {
+      p.lon = rng.Uniform(cfg.min_lon, cfg.max_lon);
+      p.lat = rng.Uniform(cfg.min_lat, cfg.max_lat);
+    }
+
+    // Text: Zipfian background words plus event words when this tweet falls
+    // inside an event's time window and near its city.
+    std::string text;
+    for (size_t w = 0; w < cfg.words_per_tweet; ++w) {
+      if (w > 0) text += ' ';
+      text += 'w';
+      text += std::to_string(word_dist.Sample(&rng));
+    }
+    for (const Event& ev : events) {
+      if (std::llabs(ts - ev.time_center) > ev.half_window) continue;
+      if (ev.city != city) continue;
+      if (rng.Bernoulli(ev.participation)) {
+        text += ' ';
+        text += ev.word;
+      }
+    }
+
+    int64_t user = user_dist.Sample(&rng);
+    // Heavy (low-rank) users have more statuses/followers — correlated skew.
+    double boost = 1.0 / std::sqrt(static_cast<double>(user + 1));
+    int64_t statuses = static_cast<int64_t>(rng.LogNormal(4.0, 1.2) * (1.0 + 20.0 * boost));
+    int64_t followers = static_cast<int64_t>(rng.LogNormal(3.5, 1.5) * (1.0 + 80.0 * boost));
+
+    table->MutableColumnAt(0).AppendInt64(static_cast<int64_t>(i));
+    table->MutableColumnAt(1).AppendText(std::move(text));
+    table->MutableColumnAt(2).AppendTimestamp(ts);
+    table->MutableColumnAt(3).AppendPoint(p);
+    table->MutableColumnAt(4).AppendInt64(statuses);
+    table->MutableColumnAt(5).AppendInt64(followers);
+    table->MutableColumnAt(6).AppendInt64(user);
+  }
+  Status st = table->Seal();
+  assert(st.ok());
+  (void)st;
+  return table;
+}
+
+std::unique_ptr<Table> GenerateUsersTable(const TwitterConfig& cfg) {
+  Rng rng(cfg.seed ^ 0x75736572);  // "user"
+  Schema schema = {
+      {"id", ColumnType::kInt64},
+      {"tweet_cnt", ColumnType::kInt64},
+      {"followers_cnt", ColumnType::kInt64},
+  };
+  auto table = std::make_unique<Table>("users", schema);
+  for (size_t u = 0; u < cfg.num_users; ++u) {
+    double boost = 1.0 / std::sqrt(static_cast<double>(u + 1));
+    int64_t tweet_cnt =
+        static_cast<int64_t>(rng.LogNormal(4.5, 1.3) * (1.0 + 50.0 * boost));
+    int64_t followers =
+        static_cast<int64_t>(rng.LogNormal(3.5, 1.5) * (1.0 + 80.0 * boost));
+    table->MutableColumnAt(0).AppendInt64(static_cast<int64_t>(u));
+    table->MutableColumnAt(1).AppendInt64(tweet_cnt);
+    table->MutableColumnAt(2).AppendInt64(followers);
+  }
+  Status st = table->Seal();
+  assert(st.ok());
+  (void)st;
+  return table;
+}
+
+}  // namespace maliva

@@ -1,0 +1,52 @@
+// Synthetic Twitter-like dataset (paper Table 1, first row).
+//
+// 100M geo-located US tweets are emulated by `num_rows` actual rows times the
+// engine's cardinality scale. The generator plants the structure that defeats
+// the optimizer's statistics:
+//  * Zipfian background vocabulary — mid-tail words miss the MCV list and
+//    fall back to the default selectivity;
+//  * bursty "events": a word that co-occurs with a time window and a spatial
+//    hotspot, breaking the independence assumption across conjuncts;
+//  * spatial city clusters and temporal rhythm, breaking grid uniformity.
+
+#ifndef MALIVA_WORKLOAD_TWITTER_H_
+#define MALIVA_WORKLOAD_TWITTER_H_
+
+#include <memory>
+
+#include "storage/table.h"
+
+namespace maliva {
+
+/// Generation knobs for the tweets fact table and the users dimension table.
+struct TwitterConfig {
+  size_t num_rows = 200000;
+  size_t num_users = 20000;
+  uint64_t seed = 42;
+
+  size_t vocabulary = 1500;      ///< background word count (Zipf theta 1.1)
+  double zipf_theta = 1.1;
+  size_t words_per_tweet = 6;
+  size_t num_events = 30;        ///< bursty word/time/space events
+  double event_participation_lo = 0.2;
+  double event_participation_hi = 0.8;
+
+  size_t num_cities = 12;        ///< spatial Gaussian clusters
+  // Continental-US bounding box.
+  double min_lon = -125.0, max_lon = -66.0;
+  double min_lat = 25.0, max_lat = 49.0;
+
+  int64_t start_epoch = 1446336000;          ///< 2015-11-01
+  int64_t duration_s = 440LL * 24 * 3600;    ///< ~14.5 months
+};
+
+/// tweets(id, text, created_at, coordinates, user_statuses_count,
+///        user_followers_count, user_id)
+std::unique_ptr<Table> GenerateTweetsTable(const TwitterConfig& config);
+
+/// users(id, tweet_cnt, followers_cnt)
+std::unique_ptr<Table> GenerateUsersTable(const TwitterConfig& config);
+
+}  // namespace maliva
+
+#endif  // MALIVA_WORKLOAD_TWITTER_H_

@@ -1,0 +1,142 @@
+// Baseline / Naive / Bao comparator tests.
+
+#include <gtest/gtest.h>
+
+#include "baselines/bao.h"
+#include "baselines/baseline.h"
+#include "qte/accurate_qte.h"
+#include "qte/sampling_qte.h"
+#include "workload/scenario.h"
+
+namespace maliva {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ScenarioConfig cfg;
+    cfg.kind = DatasetKind::kTwitter;
+    cfg.num_rows = 30000;
+    cfg.num_queries = 200;
+    cfg.tau_ms = 500.0;
+    cfg.seed = 21;
+    scenario_ = new Scenario(BuildScenario(cfg));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+
+  RewriterEnv MakeEnv(QueryTimeEstimator* qte) {
+    RewriterEnv renv;
+    renv.engine = scenario_->engine.get();
+    renv.oracle = scenario_->oracle.get();
+    renv.options = &scenario_->options;
+    renv.qte = qte;
+    renv.env_config.tau_ms = 500.0;
+    return renv;
+  }
+
+  static Scenario* scenario_;
+};
+
+Scenario* BaselinesTest::scenario_ = nullptr;
+
+TEST_F(BaselinesTest, BaselineUsesOptimizerDefault) {
+  BaselineRewriter baseline(scenario_->engine.get(), scenario_->oracle.get(), 500.0);
+  const Query& q = *scenario_->evaluation[0];
+  RewriteOutcome out = baseline.Rewrite(q);
+  EXPECT_DOUBLE_EQ(out.planning_ms, scenario_->engine->profile().optimizer_ms);
+  RewriteOption unhinted;
+  EXPECT_DOUBLE_EQ(out.exec_ms, scenario_->oracle->TrueTimeMs(q, unhinted));
+  EXPECT_DOUBLE_EQ(out.total_ms, out.planning_ms + out.exec_ms);
+  EXPECT_EQ(out.steps, 0u);
+  EXPECT_DOUBLE_EQ(out.quality, 1.0);
+}
+
+TEST_F(BaselinesTest, NaiveEstimatesEveryOption) {
+  SamplingQte qte;
+  NaiveRewriter naive(MakeEnv(&qte), "Naive");
+  const Query& q = *scenario_->evaluation[1];
+  RewriteOutcome out = naive.Rewrite(q);
+  EXPECT_EQ(out.steps, scenario_->options.size());
+  // Brute-force pays for all three selectivities once plus a model eval per
+  // option; planning must exceed the MDP's selective exploration.
+  EXPECT_GT(out.planning_ms, 3 * 0.75 * 40.0);
+}
+
+TEST_F(BaselinesTest, NaivePicksMinEstimate) {
+  AccurateQte qte;  // with the accurate QTE, naive picks the true best plan
+  NaiveRewriter naive(MakeEnv(&qte), "Naive");
+  const Query& q = *scenario_->evaluation[2];
+  RewriteOutcome out = naive.Rewrite(q);
+  double best = std::numeric_limits<double>::infinity();
+  for (const RewriteOption& ro : scenario_->options) {
+    best = std::min(best, scenario_->oracle->TrueTimeMs(q, ro));
+  }
+  EXPECT_DOUBLE_EQ(out.exec_ms, best);
+}
+
+TEST_F(BaselinesTest, BaoFeaturizeShape) {
+  BaoQte qte(3);
+  const Query& q = *scenario_->evaluation[0];
+  std::vector<double> f = qte.Featurize(*scenario_->engine, q, scenario_->options[3]);
+  EXPECT_EQ(f.size(), BaoQte::kFeatureDim);
+  for (double v : f) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST_F(BaselinesTest, BaoLearnsToRankPlans) {
+  BaoTrainer trainer(scenario_->engine.get(), scenario_->oracle.get(),
+                     &scenario_->options);
+  std::unique_ptr<BaoQte> qte = trainer.Train(scenario_->train, 77);
+
+  // Over evaluation queries, Bao's predicted-best plan should execute much
+  // faster than the worst plan on average (it learned *something* useful).
+  double chosen_sum = 0.0, worst_sum = 0.0, best_sum = 0.0;
+  for (const Query* q : scenario_->evaluation) {
+    double best_pred = std::numeric_limits<double>::infinity();
+    size_t best_idx = 0;
+    double worst_true = 0.0, best_true = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < scenario_->options.size(); ++i) {
+      double pred = qte->PredictMs(qte->Featurize(*scenario_->engine, *q,
+                                                  scenario_->options[i]));
+      if (pred < best_pred) {
+        best_pred = pred;
+        best_idx = i;
+      }
+      double truth = scenario_->oracle->TrueTimeMs(*q, scenario_->options[i]);
+      worst_true = std::max(worst_true, truth);
+      best_true = std::min(best_true, truth);
+    }
+    chosen_sum += scenario_->oracle->TrueTimeMs(*q, scenario_->options[best_idx]);
+    worst_sum += worst_true;
+    best_sum += best_true;
+  }
+  EXPECT_LT(chosen_sum, 0.3 * worst_sum);  // far better than worst-case
+  EXPECT_GT(chosen_sum, best_sum);         // but not oracle-perfect
+}
+
+TEST_F(BaselinesTest, BaoChargesPerPlanCost) {
+  BaoTrainer trainer(scenario_->engine.get(), scenario_->oracle.get(),
+                     &scenario_->options);
+  std::unique_ptr<BaoQte> qte = trainer.Train(scenario_->train, 78);
+  BaoRewriter bao(scenario_->engine.get(), scenario_->oracle.get(),
+                  &scenario_->options, qte.get(), 500.0, /*per_plan_cost_ms=*/10.0);
+  RewriteOutcome out = bao.Rewrite(*scenario_->evaluation[0]);
+  EXPECT_DOUBLE_EQ(out.planning_ms, scenario_->engine->profile().optimizer_ms +
+                                        10.0 * scenario_->options.size());
+  EXPECT_EQ(out.steps, scenario_->options.size());
+}
+
+TEST_F(BaselinesTest, BaoFitIsDeterministic) {
+  BaoTrainer trainer(scenario_->engine.get(), scenario_->oracle.get(),
+                     &scenario_->options);
+  std::unique_ptr<BaoQte> a = trainer.Train(scenario_->train, 80);
+  std::unique_ptr<BaoQte> b = trainer.Train(scenario_->train, 80);
+  const Query& q = *scenario_->evaluation[0];
+  std::vector<double> f = a->Featurize(*scenario_->engine, q, scenario_->options[2]);
+  EXPECT_DOUBLE_EQ(a->PredictMs(f), b->PredictMs(f));
+}
+
+}  // namespace
+}  // namespace maliva

@@ -1,0 +1,91 @@
+// QAgent tests: architecture, action selection, masking, target sync.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/agent.h"
+
+namespace maliva {
+namespace {
+
+TEST(QAgentTest, ArchitectureMatchesPaper) {
+  // Input 2n+1, two hidden layers sized like the input, n outputs (Fig 8).
+  QAgent agent(8, 1);
+  EXPECT_EQ(agent.num_actions(), 8u);
+  std::vector<double> f(17, 0.1);
+  EXPECT_EQ(agent.QValues(f).size(), 8u);
+}
+
+TEST(QAgentTest, GreedyRespectsValidityMask) {
+  QAgent agent(4, 2);
+  std::vector<double> f(9, 0.2);
+  std::vector<double> q = agent.QValues(f);
+  size_t best_all = 0;
+  for (size_t i = 1; i < q.size(); ++i) {
+    if (q[i] > q[best_all]) best_all = i;
+  }
+  // Mask out the overall argmax; greedy must pick something else.
+  std::vector<uint8_t> valid(4, 1);
+  valid[best_all] = 0;
+  size_t pick = agent.GreedyAction(f, valid);
+  EXPECT_NE(pick, best_all);
+  EXPECT_TRUE(valid[pick]);
+}
+
+TEST(QAgentTest, GreedySingleValidAction) {
+  QAgent agent(5, 3);
+  std::vector<double> f(11, 0.0);
+  std::vector<uint8_t> valid(5, 0);
+  valid[3] = 1;
+  EXPECT_EQ(agent.GreedyAction(f, valid), 3u);
+}
+
+TEST(QAgentTest, EpsilonZeroIsGreedy) {
+  QAgent agent(6, 4);
+  Rng rng(9);
+  std::vector<double> f(13, 0.3);
+  std::vector<uint8_t> valid(6, 1);
+  size_t greedy = agent.GreedyAction(f, valid);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(agent.EpsilonGreedyAction(f, valid, 0.0, &rng), greedy);
+  }
+}
+
+TEST(QAgentTest, EpsilonOneExploresAllValid) {
+  QAgent agent(4, 5);
+  Rng rng(10);
+  std::vector<double> f(9, 0.1);
+  std::vector<uint8_t> valid = {1, 0, 1, 1};
+  std::set<size_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    size_t a = agent.EpsilonGreedyAction(f, valid, 1.0, &rng);
+    EXPECT_TRUE(valid[a]);
+    seen.insert(a);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // every valid action eventually sampled
+}
+
+TEST(QAgentTest, TargetSyncCopiesOnline) {
+  QAgent agent(3, 6);
+  std::vector<double> f(7, 0.4);
+  // Drift the online network.
+  for (int i = 0; i < 50; ++i) {
+    agent.online()->AccumulateGradient(f, 0, 5.0);
+    agent.online()->Step(1e-2, 1);
+  }
+  EXPECT_NE(agent.QValues(f)[0], agent.TargetQValues(f)[0]);
+  agent.SyncTarget();
+  EXPECT_DOUBLE_EQ(agent.QValues(f)[0], agent.TargetQValues(f)[0]);
+}
+
+TEST(QAgentTest, DeterministicConstruction) {
+  QAgent a(4, 42), b(4, 42);
+  std::vector<double> f(9, 0.25);
+  EXPECT_EQ(a.QValues(f), b.QValues(f));
+  QAgent c(4, 43);
+  EXPECT_NE(a.QValues(f), c.QValues(f));
+}
+
+}  // namespace
+}  // namespace maliva

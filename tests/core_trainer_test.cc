@@ -1,0 +1,132 @@
+// Trainer tests: Algorithm 1 must produce an agent that beats both the
+// untrained network and a random policy on a small scenario.
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "qte/accurate_qte.h"
+#include "workload/scenario.h"
+
+namespace maliva {
+namespace {
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ScenarioConfig cfg;
+    cfg.kind = DatasetKind::kTwitter;
+    cfg.num_rows = 30000;
+    cfg.num_queries = 240;
+    cfg.tau_ms = 500.0;
+    cfg.seed = 5;
+    scenario_ = new Scenario(BuildScenario(cfg));
+    qte_ = new AccurateQte();
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    delete qte_;
+    scenario_ = nullptr;
+    qte_ = nullptr;
+  }
+
+  RewriterEnv MakeEnv() {
+    RewriterEnv renv;
+    renv.engine = scenario_->engine.get();
+    renv.oracle = scenario_->oracle.get();
+    renv.options = &scenario_->options;
+    renv.qte = qte_;
+    renv.qte_params.unit_cost_ms = 40.0;
+    renv.env_config.tau_ms = 500.0;
+    return renv;
+  }
+
+  double GreedyVqp(const QAgent& agent, const std::vector<const Query*>& ws) {
+    RewriterEnv renv = MakeEnv();
+    size_t viable = 0;
+    for (const Query* q : ws) {
+      RewriteOutcome out = RunGreedyEpisode(renv, agent, *q);
+      viable += out.viable ? 1 : 0;
+    }
+    return static_cast<double>(viable) / static_cast<double>(ws.size());
+  }
+
+  static Scenario* scenario_;
+  static AccurateQte* qte_;
+};
+
+Scenario* TrainerTest::scenario_ = nullptr;
+AccurateQte* TrainerTest::qte_ = nullptr;
+
+TEST_F(TrainerTest, TrainingImprovesOverUntrained) {
+  TrainerConfig tc;
+  tc.max_iterations = 15;
+  tc.seed = 7;
+  Trainer trainer(MakeEnv(), tc);
+  std::unique_ptr<QAgent> trained = trainer.Train(scenario_->train);
+
+  QAgent untrained(scenario_->options.size(), 12345);
+  double vqp_trained = GreedyVqp(*trained, scenario_->evaluation);
+  double vqp_untrained = GreedyVqp(untrained, scenario_->evaluation);
+  EXPECT_GT(vqp_trained, vqp_untrained - 0.02);
+  EXPECT_GT(vqp_trained, 0.3);  // absolute sanity: most queries servable
+}
+
+TEST_F(TrainerTest, HistoryRecordsIterations) {
+  TrainerConfig tc;
+  tc.max_iterations = 5;
+  tc.patience = 100;  // disable early stop
+  tc.seed = 8;
+  Trainer trainer(MakeEnv(), tc);
+  trainer.Train(scenario_->train);
+  EXPECT_EQ(trainer.history().size(), 5u);
+  for (const Trainer::IterationStats& st : trainer.history()) {
+    EXPECT_EQ(st.episodes, scenario_->train.size());
+    EXPECT_GE(st.greedy_vqp, 0.0);
+    EXPECT_LE(st.greedy_vqp, 1.0);
+  }
+}
+
+TEST_F(TrainerTest, ConvergenceStopsEarly) {
+  TrainerConfig tc;
+  tc.max_iterations = 40;
+  tc.patience = 2;
+  tc.seed = 9;
+  Trainer trainer(MakeEnv(), tc);
+  trainer.Train(scenario_->train);
+  EXPECT_LT(trainer.history().size(), 40u);  // converged before the cap
+}
+
+TEST_F(TrainerTest, DeterministicAcrossRuns) {
+  TrainerConfig tc;
+  tc.max_iterations = 4;
+  tc.patience = 100;
+  tc.seed = 11;
+  Trainer t1(MakeEnv(), tc), t2(MakeEnv(), tc);
+  std::unique_ptr<QAgent> a1 = t1.Train(scenario_->train);
+  std::unique_ptr<QAgent> a2 = t2.Train(scenario_->train);
+  std::vector<double> f(2 * scenario_->options.size() + 1, 0.2);
+  EXPECT_EQ(a1->QValues(f), a2->QValues(f));
+  ASSERT_EQ(t1.history().size(), t2.history().size());
+  for (size_t i = 0; i < t1.history().size(); ++i) {
+    EXPECT_DOUBLE_EQ(t1.history()[i].mean_reward, t2.history()[i].mean_reward);
+  }
+}
+
+TEST_F(TrainerTest, RewardImprovesDuringTraining) {
+  TrainerConfig tc;
+  tc.max_iterations = 15;
+  tc.patience = 100;
+  tc.seed = 13;
+  Trainer trainer(MakeEnv(), tc);
+  trainer.Train(scenario_->train);
+  const auto& hist = trainer.history();
+  ASSERT_GE(hist.size(), 10u);
+  // Mean of last three iterations beats the first iteration.
+  double late = (hist[hist.size() - 1].mean_reward + hist[hist.size() - 2].mean_reward +
+                 hist[hist.size() - 3].mean_reward) /
+                3.0;
+  EXPECT_GE(late, hist[0].mean_reward - 0.05);
+}
+
+}  // namespace
+}  // namespace maliva

@@ -1,0 +1,167 @@
+// Approximation-rule execution: LIMIT early exit and sample-table
+// substitution must trade quality for speed.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_helpers.h"
+
+namespace maliva {
+namespace {
+
+using testing_helpers::BruteForceMatch;
+using testing_helpers::SmallQuery;
+
+class ApproxEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_ = std::make_unique<Engine>(EngineProfile::PostgresLike(), 31);
+    ASSERT_TRUE(engine_
+                    ->RegisterTable(testing_helpers::SmallTweets(5000, 31),
+                                    {"text", "created_at", "coordinates"})
+                    .ok());
+    ASSERT_TRUE(engine_->BuildSampleTables("tweets", {0.2, 0.01}, 77).ok());
+  }
+
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(ApproxEngineTest, SampleTableNameFormat) {
+  EXPECT_EQ(Engine::SampleTableName("tweets", 0.2), "tweets#sample200");
+  EXPECT_EQ(Engine::SampleTableName("tweets", 0.01), "tweets#sample10");
+}
+
+TEST_F(ApproxEngineTest, SampleTablesRegisteredWithIndexes) {
+  const TableEntry* e = engine_->FindEntry("tweets#sample200");
+  ASSERT_NE(e, nullptr);
+  EXPECT_GT(e->table->NumRows(), 500u);
+  EXPECT_LT(e->table->NumRows(), 1500u);
+  EXPECT_EQ(e->inverted.count("text"), 1u);
+  EXPECT_EQ(e->btrees.count("created_at"), 1u);
+  EXPECT_EQ(e->rtrees.count("coordinates"), 1u);
+}
+
+TEST_F(ApproxEngineTest, SampleExecutionSubsetOfExact) {
+  Query q = SmallQuery(1, "w0", 0, 9999, {0, 0, 100, 50});
+  PlanSpec exact;
+  exact.index_mask = 1;
+  PlanSpec sampled = exact;
+  sampled.approx = {ApproxKind::kSampleTable, 0.2};
+
+  ExecResult r_exact = engine_->ExecutePlan(q, exact).value();
+  ExecResult r_sample = engine_->ExecutePlan(q, sampled).value();
+
+  std::set<int64_t> exact_ids(r_exact.vis.ids.begin(), r_exact.vis.ids.end());
+  for (int64_t id : r_sample.vis.ids) {
+    EXPECT_TRUE(exact_ids.count(id) > 0) << "sample produced id not in exact result";
+  }
+  // Roughly 20% of the rows, and meaningfully faster.
+  EXPECT_LT(r_sample.vis.ids.size(), exact_ids.size());
+  EXPECT_LT(r_sample.exec_ms, r_exact.exec_ms);
+}
+
+TEST_F(ApproxEngineTest, LimitCapsOutputAndTime) {
+  Query q = SmallQuery(2, "w0", 0, 9999, {0, 0, 100, 50});
+  PlanSpec exact;
+  exact.index_mask = 1;
+  PlanSpec limited = exact;
+  limited.approx = {ApproxKind::kLimit, 0.05};
+
+  ExecResult r_exact = engine_->ExecutePlan(q, exact).value();
+  ExecResult r_lim = engine_->ExecutePlan(q, limited).value();
+
+  EXPECT_LT(r_lim.vis.ids.size(), r_exact.vis.ids.size());
+  EXPECT_GT(r_lim.vis.ids.size(), 0u);
+  EXPECT_LT(r_lim.exec_ms, r_exact.exec_ms);
+
+  // The limited result is a prefix subset of the exact result.
+  std::set<int64_t> exact_ids(r_exact.vis.ids.begin(), r_exact.vis.ids.end());
+  for (int64_t id : r_lim.vis.ids) EXPECT_TRUE(exact_ids.count(id) > 0);
+}
+
+TEST_F(ApproxEngineTest, LimitOnFullScanStopsEarly) {
+  Query q = SmallQuery(3, "w0", 0, 9999, {0, 0, 100, 50});
+  PlanSpec full;
+  full.index_mask = 0;
+  PlanSpec lim = full;
+  lim.approx = {ApproxKind::kLimit, 0.02};
+  ExecResult r_full = engine_->ExecutePlan(q, full).value();
+  ExecResult r_lim = engine_->ExecutePlan(q, lim).value();
+  EXPECT_LT(r_lim.cards.scanned_rows, r_full.cards.scanned_rows);
+  EXPECT_LT(r_lim.exec_ms, r_full.exec_ms);
+}
+
+TEST_F(ApproxEngineTest, SmallerLimitFractionIsFaster) {
+  Query q = SmallQuery(4, "w0", 0, 9999, {0, 0, 100, 50});
+  double prev_ms = 0.0;
+  size_t prev_rows = 0;
+  for (double frac : {0.01, 0.1, 0.5}) {
+    PlanSpec spec;
+    spec.index_mask = 1;
+    spec.approx = {ApproxKind::kLimit, frac};
+    ExecResult r = engine_->ExecutePlan(q, spec).value();
+    EXPECT_GE(r.vis.ids.size(), prev_rows);
+    EXPECT_GE(r.exec_ms, prev_ms);
+    prev_rows = r.vis.ids.size();
+    prev_ms = r.exec_ms;
+  }
+}
+
+TEST_F(ApproxEngineTest, MissingSampleTableIsNotFound) {
+  Query q = SmallQuery(5, "w0", 0, 9999, {0, 0, 100, 50});
+  PlanSpec spec;
+  spec.index_mask = 1;
+  spec.approx = {ApproxKind::kSampleTable, 0.4};  // never built
+  Result<ExecResult> r = engine_->ExecutePlan(q, spec);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+}
+
+TEST_F(ApproxEngineTest, SampledSelectivityApproximatesTruth) {
+  Predicate pred = Predicate::Time("created_at", 0, 4999);  // ~0.5
+  Result<double> truth = engine_->TrueSelectivity("tweets", pred);
+  Result<double> sampled = engine_->SampledSelectivity("tweets", pred, 0.2);
+  ASSERT_TRUE(truth.ok());
+  ASSERT_TRUE(sampled.ok());
+  EXPECT_NEAR(sampled.value(), truth.value(), 0.08);
+}
+
+TEST_F(ApproxEngineTest, SampledSelectivityNeverZero) {
+  // Add-half smoothing: even predicates with no sample matches estimate > 0.
+  Predicate pred = Predicate::Keyword("text", "notaword");
+  Result<double> sel = engine_->SampledSelectivity("tweets", pred, 0.01);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_GT(sel.value(), 0.0);
+  EXPECT_LT(sel.value(), 0.05);
+}
+
+TEST_F(ApproxEngineTest, EstimateOutputCardinalityPositive) {
+  Query q = SmallQuery(6, "w0", 0, 9999, {0, 0, 100, 50});
+  double est = engine_->EstimateOutputCardinality(q);
+  EXPECT_GT(est, 0.0);
+  EXPECT_LE(est, 5000.0);
+}
+
+TEST(PlanInstabilityTest, CommercialProfileSometimesIgnoresHints) {
+  EngineProfile p = EngineProfile::CommercialLike();
+  p.plan_instability_prob = 0.5;
+  auto engine = std::make_unique<Engine>(p, 99);
+  ASSERT_TRUE(engine
+                  ->RegisterTable(testing_helpers::SmallTweets(2000, 13),
+                                  {"text", "created_at", "coordinates"})
+                  .ok());
+  size_t ignored = 0;
+  for (uint64_t id = 0; id < 40; ++id) {
+    Query q = SmallQuery(id, "w1", 0, 9999, {0, 0, 100, 50});
+    PlanSpec spec;
+    spec.index_mask = 0b111;
+    ExecResult r = engine->ExecutePlan(q, spec).value();
+    if (r.plan.index_mask != 0b111) ++ignored;
+  }
+  EXPECT_GT(ignored, 5u);   // hints ignored sometimes...
+  EXPECT_LT(ignored, 35u);  // ...but not always
+}
+
+}  // namespace
+}  // namespace maliva

@@ -1,0 +1,203 @@
+// Tests for the cost model: monotonicity, composition, and the calibrated
+// regimes DESIGN.md promises (full scan >> viable index plans).
+
+#include <gtest/gtest.h>
+
+#include "engine/cost_model.h"
+
+namespace maliva {
+namespace {
+
+CostModel DefaultModel() { return CostModel(EngineProfile::PostgresLike()); }
+
+TEST(CostModelTest, EmptyCardsCostNothing) {
+  PlanCards cards;
+  EXPECT_DOUBLE_EQ(DefaultModel().PlanTimeMs(cards), 0.0);
+}
+
+TEST(CostModelTest, FullScanScalesWithRows) {
+  CostModel m = DefaultModel();
+  PlanCards a, b;
+  a.scanned_rows = 1e6;
+  a.scan_preds = 3;
+  b = a;
+  b.scanned_rows = 2e6;
+  EXPECT_NEAR(m.PlanTimeMs(b), 2.0 * m.PlanTimeMs(a), 1e-9);
+}
+
+TEST(CostModelTest, FullScanOf100MRowsIsTensOfSeconds) {
+  CostModel m = DefaultModel();
+  PlanCards cards;
+  cards.scanned_rows = 1e8;
+  cards.scan_preds = 3;
+  double ms = m.PlanTimeMs(cards);
+  EXPECT_GT(ms, 30000.0);   // far beyond any interactive budget
+  EXPECT_LT(ms, 300000.0);  // but not absurd
+}
+
+TEST(CostModelTest, SelectiveIndexPlanIsInteractive) {
+  // A single-index plan over ~50k virtual candidates should fit in ~500ms.
+  CostModel m = DefaultModel();
+  PlanCards cards;
+  cards.postings = {5e4};
+  cards.candidates = 5e4;
+  cards.residual_preds = 2;
+  cards.output_rows = 1e3;
+  EXPECT_LT(m.PlanTimeMs(cards), 500.0);
+  EXPECT_GT(m.PlanTimeMs(cards), 10.0);
+}
+
+TEST(CostModelTest, UnselectiveIndexPlanBlowsBudget) {
+  CostModel m = DefaultModel();
+  PlanCards cards;
+  cards.postings = {2e6};  // keyword with selectivity 0.02 over 100M rows
+  cards.candidates = 2e6;
+  cards.residual_preds = 2;
+  cards.output_rows = 1e4;
+  EXPECT_GT(m.PlanTimeMs(cards), 2000.0);
+}
+
+TEST(CostModelTest, IntersectionChargedOnlyForMultipleLists) {
+  CostModel m = DefaultModel();
+  PlanCards one;
+  one.postings = {1e5};
+  PlanCards two;
+  two.postings = {5e4, 5e4};
+  // Same total postings, but the two-list plan pays probe + intersection.
+  EXPECT_GT(m.SelectionTimeMs(two), m.SelectionTimeMs(one));
+}
+
+TEST(CostModelTest, IntersectionBeatsSingleIndexWhenListsModerate) {
+  // Two moderate lists with a small intersection beat one big candidate set:
+  // the regime where multi-index plans are the only viable ones.
+  CostModel m = DefaultModel();
+  PlanCards single;
+  single.postings = {1e5};
+  single.candidates = 1e5;
+  single.residual_preds = 2;
+  PlanCards both;
+  both.postings = {1e5, 1e5};
+  both.candidates = 2e3;
+  both.residual_preds = 1;
+  EXPECT_LT(m.SelectionTimeMs(both), m.SelectionTimeMs(single));
+}
+
+TEST(CostModelTest, MonotoneInCandidates) {
+  CostModel m = DefaultModel();
+  PlanCards a;
+  a.postings = {1e4};
+  a.candidates = 1e3;
+  PlanCards b = a;
+  b.candidates = 1e4;
+  EXPECT_GT(m.PlanTimeMs(b), m.PlanTimeMs(a));
+}
+
+TEST(CostModelTest, HeatmapVsScatterOutput) {
+  EngineProfile p = EngineProfile::PostgresLike();
+  CostModel m(p);
+  PlanCards scatter;
+  scatter.output_rows = 1e5;
+  scatter.heatmap = false;
+  PlanCards heatmap = scatter;
+  heatmap.heatmap = true;
+  EXPECT_NEAR(m.PlanTimeMs(scatter), 1e5 * p.output_row_ms, 1e-9);
+  EXPECT_NEAR(m.PlanTimeMs(heatmap), 1e5 * p.agg_row_ms, 1e-9);
+}
+
+TEST(CostModelTest, JoinMethodsUseTheirOwnCards) {
+  EngineProfile p = EngineProfile::PostgresLike();
+  CostModel m(p);
+
+  PlanCards nl;
+  nl.has_join = true;
+  nl.join_method = JoinMethod::kNestedLoop;
+  nl.nl_outer = 1e4;
+  double nl_ms = m.JoinTimeMs(nl);
+  EXPECT_NEAR(nl_ms, p.index_probe_ms + 1e4 * p.nl_probe_ms, 1e-9);
+
+  PlanCards hash;
+  hash.has_join = true;
+  hash.join_method = JoinMethod::kHash;
+  hash.right_scanned = 1e5;
+  hash.build_rows = 1e5;
+  hash.probe_rows = 1e4;
+  EXPECT_GT(m.JoinTimeMs(hash), 0.0);
+
+  PlanCards merge;
+  merge.has_join = true;
+  merge.join_method = JoinMethod::kMerge;
+  merge.right_scanned = 1e5;
+  merge.sort_rows = 1.1e5;
+  merge.merge_rows = 1.1e5;
+  EXPECT_GT(m.JoinTimeMs(merge), m.JoinTimeMs(hash));  // sorting dominates
+}
+
+TEST(CostModelTest, NestedLoopWinsForSmallOuter) {
+  // Small filtered outer vs large build side: NL should beat hash.
+  CostModel m = DefaultModel();
+  PlanCards nl;
+  nl.has_join = true;
+  nl.join_method = JoinMethod::kNestedLoop;
+  nl.nl_outer = 1e3;
+  PlanCards hash;
+  hash.has_join = true;
+  hash.join_method = JoinMethod::kHash;
+  hash.right_scanned = 1e6;
+  hash.build_rows = 1e6;
+  hash.probe_rows = 1e3;
+  EXPECT_LT(m.JoinTimeMs(nl), m.JoinTimeMs(hash));
+}
+
+TEST(CostModelTest, HashWinsForLargeOuter) {
+  CostModel m = DefaultModel();
+  PlanCards nl;
+  nl.has_join = true;
+  nl.join_method = JoinMethod::kNestedLoop;
+  nl.nl_outer = 1e6;
+  PlanCards hash;
+  hash.has_join = true;
+  hash.join_method = JoinMethod::kHash;
+  hash.right_scanned = 1e5;
+  hash.build_rows = 1e5;
+  hash.probe_rows = 1e6;
+  EXPECT_LT(m.JoinTimeMs(hash), m.JoinTimeMs(nl));
+}
+
+TEST(CostModelTest, PlanTimeIsSelectionPlusJoin) {
+  CostModel m = DefaultModel();
+  PlanCards cards;
+  cards.postings = {1e4};
+  cards.candidates = 1e3;
+  cards.has_join = true;
+  cards.join_method = JoinMethod::kNestedLoop;
+  cards.nl_outer = 1e3;
+  cards.join_output = 500;
+  EXPECT_NEAR(m.PlanTimeMs(cards), m.SelectionTimeMs(cards) + m.JoinTimeMs(cards),
+              1e-12);
+}
+
+TEST(PlanSpecTest, ToStringShowsMaskJoinApprox) {
+  PlanSpec spec;
+  spec.index_mask = 0b011;
+  spec.join_method = JoinMethod::kHash;
+  spec.approx = {ApproxKind::kLimit, 0.04};
+  std::string s = spec.ToString(3);
+  EXPECT_NE(s.find("110"), std::string::npos);  // bit order: pred 0 first
+  EXPECT_NE(s.find("hash"), std::string::npos);
+  EXPECT_NE(s.find("limit"), std::string::npos);
+}
+
+TEST(ProfileTest, Presets) {
+  EngineProfile pg = EngineProfile::PostgresLike();
+  EXPECT_EQ(pg.name, "postgres-like");
+  EXPECT_EQ(pg.noise_sigma, 0.0);
+  EngineProfile com = EngineProfile::CommercialLike();
+  EXPECT_EQ(com.name, "commercial-like");
+  EXPECT_GT(com.noise_sigma, 0.0);
+  EXPECT_GT(com.buffer_hit_prob, 0.0);
+  EXPECT_GT(com.plan_instability_prob, 0.0);
+  EXPECT_LT(com.cardinality_scale, pg.cardinality_scale);
+}
+
+}  // namespace
+}  // namespace maliva

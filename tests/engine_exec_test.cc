@@ -1,0 +1,183 @@
+// Executor correctness: every hinted plan must compute the same (exact)
+// result as a brute-force evaluation, while charging plan-dependent times.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "engine/optimizer.h"
+#include "test_helpers.h"
+
+namespace maliva {
+namespace {
+
+using testing_helpers::BruteForceMatch;
+using testing_helpers::SmallEngine;
+using testing_helpers::SmallQuery;
+
+class ExecAllMasks : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ExecAllMasks, AllHintedPlansReturnSameExactResult) {
+  auto engine = SmallEngine(4000, 7);
+  Query q = SmallQuery(1, "w1", 2000, 7000, {20, 10, 80, 40});
+  const Table& table = *engine->FindEntry("tweets")->table;
+  std::vector<RowId> expect_rows = BruteForceMatch(table, q);
+  std::set<int64_t> expect_ids(expect_rows.begin(), expect_rows.end());
+
+  PlanSpec spec;
+  spec.index_mask = GetParam();
+  Result<ExecResult> r = engine->ExecutePlan(q, spec);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::set<int64_t> got(r.value().vis.ids.begin(), r.value().vis.ids.end());
+  EXPECT_EQ(got, expect_ids) << "mask=" << GetParam();
+  EXPECT_GT(r.value().exec_ms, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Masks, ExecAllMasks, ::testing::Range(0u, 8u));
+
+TEST(ExecutorTest, DifferentPlansDifferentTimes) {
+  auto engine = SmallEngine(4000, 7);
+  Query q = SmallQuery(2, "w0", 0, 9999, {0, 0, 100, 50});  // unselective
+  PlanSpec full, kw;
+  full.index_mask = 0;
+  kw.index_mask = 1;
+  double t_full = engine->ExecutePlan(q, full).value().exec_ms;
+  double t_kw = engine->ExecutePlan(q, kw).value().exec_ms;
+  EXPECT_NE(t_full, t_kw);
+}
+
+TEST(ExecutorTest, DeterministicRepeatedExecution) {
+  auto engine = SmallEngine(2000, 9);
+  Query q = SmallQuery(3, "w2", 1000, 8000, {10, 5, 90, 45});
+  PlanSpec spec;
+  spec.index_mask = 3;
+  double a = engine->ExecutePlan(q, spec).value().exec_ms;
+  double b = engine->ExecutePlan(q, spec).value().exec_ms;
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(ExecutorTest, HeatmapBinsSumToMatchCount) {
+  auto engine = SmallEngine(4000, 7);
+  Query q = SmallQuery(4, "w1", 0, 9999, {20, 10, 80, 40}, OutputKind::kHeatmap);
+  const Table& table = *engine->FindEntry("tweets")->table;
+  size_t expect = BruteForceMatch(table, q).size();
+  PlanSpec spec;
+  spec.index_mask = 1;
+  Result<ExecResult> r = engine->ExecutePlan(q, spec);
+  ASSERT_TRUE(r.ok());
+  int64_t total = 0;
+  for (const auto& [bin, count] : r.value().vis.bins) {
+    EXPECT_GE(bin, 0);
+    EXPECT_LT(bin, static_cast<int64_t>(q.heatmap_bins) * q.heatmap_bins);
+    total += count;
+  }
+  EXPECT_EQ(static_cast<size_t>(total), expect);
+}
+
+TEST(ExecutorTest, CardsReflectPlanShape) {
+  auto engine = SmallEngine(4000, 7);
+  Query q = SmallQuery(5, "w1", 2000, 7000, {20, 10, 80, 40});
+
+  PlanSpec full;
+  full.index_mask = 0;
+  ExecResult r_full = engine->ExecutePlan(q, full).value();
+  EXPECT_GT(r_full.cards.scanned_rows, 0.0);
+  EXPECT_TRUE(r_full.cards.postings.empty());
+
+  PlanSpec two;
+  two.index_mask = 0b011;
+  ExecResult r_two = engine->ExecutePlan(q, two).value();
+  EXPECT_EQ(r_two.cards.postings.size(), 2u);
+  EXPECT_DOUBLE_EQ(r_two.cards.residual_preds, 1.0);
+  EXPECT_EQ(r_two.cards.scanned_rows, 0.0);
+}
+
+TEST(ExecutorTest, CardinalityScaleAppliesToCards) {
+  EngineProfile p = EngineProfile::PostgresLike();
+  p.cardinality_scale = 100.0;
+  auto engine = SmallEngine(2000, 11, p);
+  Query q = SmallQuery(6, "w0", 0, 9999, {0, 0, 100, 50});
+  PlanSpec spec;
+  spec.index_mask = 0;
+  ExecResult r = engine->ExecutePlan(q, spec).value();
+  EXPECT_DOUBLE_EQ(r.cards.scanned_rows, 2000.0 * 100.0);
+}
+
+TEST(ExecutorTest, MissingIndexIsFailedPrecondition) {
+  // Register without the text index; hinting it must fail cleanly.
+  auto engine = std::make_unique<Engine>(EngineProfile::PostgresLike(), 1);
+  ASSERT_TRUE(engine
+                  ->RegisterTable(testing_helpers::SmallTweets(500, 3),
+                                  {"created_at", "coordinates"})
+                  .ok());
+  Query q = SmallQuery(7, "w0", 0, 9999, {0, 0, 100, 50});
+  PlanSpec spec;
+  spec.index_mask = 1;  // text index was not built
+  Result<ExecResult> r = engine->ExecutePlan(q, spec);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kFailedPrecondition);
+}
+
+TEST(ExecutorTest, UnknownTableIsNotFound) {
+  auto engine = SmallEngine(500, 3);
+  Query q = SmallQuery(8, "w0", 0, 9999, {0, 0, 100, 50});
+  q.table = "nope";
+  PlanSpec spec;
+  Result<ExecResult> r = engine->ExecutePlan(q, spec);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+}
+
+TEST(ExecutorTest, ExecuteUnhintedUsesOptimizer) {
+  auto engine = SmallEngine(4000, 7);
+  Query q = SmallQuery(9, "w3", 1000, 3000, {10, 5, 60, 30});
+  RewrittenQuery rq{&q, RewriteOption{}};  // no hints at all
+  Result<ExecResult> r = engine->Execute(rq);
+  ASSERT_TRUE(r.ok());
+  // The plan actually run must equal the optimizer's free choice.
+  PlanSpec expected = engine->optimizer().ResolvePlan(q, RewriteOption{});
+  EXPECT_EQ(r.value().plan.index_mask, expected.index_mask);
+}
+
+TEST(ExecutorTest, TrueSelectivityMatchesBruteForce) {
+  auto engine = SmallEngine(3000, 15);
+  const Table& table = *engine->FindEntry("tweets")->table;
+  Predicate pred = Predicate::Time("created_at", 1000, 4000);
+  Result<double> sel = engine->TrueSelectivity("tweets", pred);
+  ASSERT_TRUE(sel.ok());
+  Query probe;
+  probe.table = "tweets";
+  probe.predicates = {pred};
+  size_t matches = BruteForceMatch(table, probe).size();
+  EXPECT_NEAR(sel.value(), static_cast<double>(matches) / 3000.0, 1e-12);
+}
+
+TEST(ExecutorTest, NoiseProfileChangesTimesDeterministically) {
+  EngineProfile noisy = EngineProfile::PostgresLike();
+  noisy.noise_sigma = 0.3;
+  auto engine = SmallEngine(2000, 21, noisy);
+  Query q1 = SmallQuery(10, "w1", 0, 9999, {0, 0, 100, 50});
+  Query q2 = SmallQuery(11, "w1", 0, 9999, {0, 0, 100, 50});
+  PlanSpec spec;
+  spec.index_mask = 1;
+  double a1 = engine->ExecutePlan(q1, spec).value().exec_ms;
+  double a1_again = engine->ExecutePlan(q1, spec).value().exec_ms;
+  double a2 = engine->ExecutePlan(q2, spec).value().exec_ms;
+  EXPECT_DOUBLE_EQ(a1, a1_again);  // deterministic per identity
+  EXPECT_NE(a1, a2);               // but varies across query ids
+}
+
+TEST(ExecutorTest, EmptyResultQueries) {
+  auto engine = SmallEngine(1000, 5);
+  Query q = SmallQuery(12, "doesnotexist", 0, 9999, {0, 0, 100, 50});
+  for (uint32_t mask : {0u, 1u, 7u}) {
+    PlanSpec spec;
+    spec.index_mask = mask;
+    Result<ExecResult> r = engine->ExecutePlan(q, spec);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value().vis.ids.empty());
+  }
+}
+
+}  // namespace
+}  // namespace maliva

@@ -1,0 +1,173 @@
+// Join executor tests: all join methods must agree with a brute-force join;
+// costs must differ by method.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_helpers.h"
+
+namespace maliva {
+namespace {
+
+std::unique_ptr<Table> JoinTweets(size_t n, size_t num_users, uint64_t seed) {
+  Schema schema = {{"id", ColumnType::kInt64},
+                   {"text", ColumnType::kText},
+                   {"created_at", ColumnType::kTimestamp},
+                   {"coordinates", ColumnType::kPoint},
+                   {"user_id", ColumnType::kInt64}};
+  auto t = std::make_unique<Table>("tweets", schema);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    t->MutableColumnAt(0).AppendInt64(static_cast<int64_t>(i));
+    t->MutableColumnAt(1).AppendText("w" + std::to_string(rng.UniformInt(0, 20)));
+    t->MutableColumnAt(2).AppendTimestamp(rng.UniformInt(0, 9999));
+    t->MutableColumnAt(3).AppendPoint({rng.Uniform(0, 100), rng.Uniform(0, 50)});
+    t->MutableColumnAt(4).AppendInt64(rng.UniformInt(0, static_cast<int64_t>(num_users) - 1));
+  }
+  EXPECT_TRUE(t->Seal().ok());
+  return t;
+}
+
+std::unique_ptr<Table> JoinUsers(size_t num_users, uint64_t seed) {
+  Schema schema = {{"id", ColumnType::kInt64}, {"tweet_cnt", ColumnType::kInt64}};
+  auto t = std::make_unique<Table>("users", schema);
+  Rng rng(seed);
+  for (size_t u = 0; u < num_users; ++u) {
+    t->MutableColumnAt(0).AppendInt64(static_cast<int64_t>(u));
+    t->MutableColumnAt(1).AppendInt64(rng.UniformInt(0, 10000));
+  }
+  EXPECT_TRUE(t->Seal().ok());
+  return t;
+}
+
+class JoinEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_ = std::make_unique<Engine>(EngineProfile::PostgresLike(), 5);
+    ASSERT_TRUE(engine_
+                    ->RegisterTable(JoinTweets(3000, 200, 5),
+                                    {"text", "created_at", "coordinates"}, {"user_id"})
+                    .ok());
+    ASSERT_TRUE(engine_->RegisterTable(JoinUsers(200, 6), {"tweet_cnt"}, {"id"}).ok());
+  }
+
+  Query JoinQuery(uint64_t id, double cnt_lo, double cnt_hi) {
+    Query q = testing_helpers::SmallQuery(id, "w3", 1000, 8000, {10, 5, 90, 45});
+    JoinSpec js;
+    js.right_table = "users";
+    js.left_key = "user_id";
+    js.right_key = "id";
+    js.right_predicates.push_back(Predicate::Numeric("tweet_cnt", cnt_lo, cnt_hi));
+    q.join = js;
+    return q;
+  }
+
+  std::set<int64_t> BruteForceJoin(const Query& q) {
+    const Table& tweets = *engine_->FindEntry("tweets")->table;
+    const Table& users = *engine_->FindEntry("users")->table;
+    std::set<int64_t> out;
+    for (RowId r : testing_helpers::BruteForceMatch(tweets, q)) {
+      int64_t uid = tweets.GetColumn("user_id").Int64At(r);
+      // PK lookup.
+      int64_t cnt = users.GetColumn("tweet_cnt").Int64At(static_cast<RowId>(uid));
+      if (q.join->right_predicates[0].range.Contains(static_cast<double>(cnt))) {
+        out.insert(tweets.GetColumn("id").Int64At(r));
+      }
+    }
+    return out;
+  }
+
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(JoinEngineTest, AllMethodsAgreeWithBruteForce) {
+  Query q = JoinQuery(100, 2000, 8000);
+  std::set<int64_t> expect = BruteForceJoin(q);
+  ASSERT_FALSE(expect.empty());
+  for (JoinMethod jm : {JoinMethod::kNestedLoop, JoinMethod::kHash, JoinMethod::kMerge}) {
+    PlanSpec spec;
+    spec.index_mask = 0b010;  // time index
+    spec.join_method = jm;
+    Result<ExecResult> r = engine_->ExecutePlan(q, spec);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    std::set<int64_t> got(r.value().vis.ids.begin(), r.value().vis.ids.end());
+    EXPECT_EQ(got, expect) << "method=" << JoinMethodName(jm);
+  }
+}
+
+TEST_F(JoinEngineTest, AllMaskAndMethodCombosAgree) {
+  Query q = JoinQuery(101, 0, 5000);
+  std::set<int64_t> expect = BruteForceJoin(q);
+  for (uint32_t mask = 1; mask < 8; ++mask) {
+    for (JoinMethod jm :
+         {JoinMethod::kNestedLoop, JoinMethod::kHash, JoinMethod::kMerge}) {
+      PlanSpec spec;
+      spec.index_mask = mask;
+      spec.join_method = jm;
+      Result<ExecResult> r = engine_->ExecutePlan(q, spec);
+      ASSERT_TRUE(r.ok());
+      std::set<int64_t> got(r.value().vis.ids.begin(), r.value().vis.ids.end());
+      EXPECT_EQ(got, expect) << "mask=" << mask << " method=" << JoinMethodName(jm);
+    }
+  }
+}
+
+TEST_F(JoinEngineTest, MethodsChargeDifferentTimes) {
+  Query q = JoinQuery(102, 2000, 8000);
+  PlanSpec nl, hash, merge;
+  nl.index_mask = hash.index_mask = merge.index_mask = 0b010;
+  nl.join_method = JoinMethod::kNestedLoop;
+  hash.join_method = JoinMethod::kHash;
+  merge.join_method = JoinMethod::kMerge;
+  double t_nl = engine_->ExecutePlan(q, nl).value().exec_ms;
+  double t_hash = engine_->ExecutePlan(q, hash).value().exec_ms;
+  double t_merge = engine_->ExecutePlan(q, merge).value().exec_ms;
+  EXPECT_NE(t_nl, t_hash);
+  EXPECT_NE(t_hash, t_merge);
+}
+
+TEST_F(JoinEngineTest, JoinCardsPopulatedByMethod) {
+  Query q = JoinQuery(103, 2000, 8000);
+  PlanSpec spec;
+  spec.index_mask = 0b010;
+  spec.join_method = JoinMethod::kHash;
+  ExecResult r = engine_->ExecutePlan(q, spec).value();
+  EXPECT_TRUE(r.cards.has_join);
+  EXPECT_GT(r.cards.build_rows, 0.0);
+  EXPECT_GT(r.cards.probe_rows, 0.0);
+  EXPECT_EQ(r.cards.nl_outer, 0.0);
+
+  spec.join_method = JoinMethod::kNestedLoop;
+  ExecResult r2 = engine_->ExecutePlan(q, spec).value();
+  EXPECT_GT(r2.cards.nl_outer, 0.0);
+  EXPECT_EQ(r2.cards.build_rows, 0.0);
+}
+
+TEST_F(JoinEngineTest, EmptyRightFilter) {
+  Query q = JoinQuery(104, 20000, 30000);  // no user matches
+  for (JoinMethod jm : {JoinMethod::kNestedLoop, JoinMethod::kHash, JoinMethod::kMerge}) {
+    PlanSpec spec;
+    spec.index_mask = 0b001;
+    spec.join_method = jm;
+    Result<ExecResult> r = engine_->ExecutePlan(q, spec);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value().vis.ids.empty());
+  }
+}
+
+TEST_F(JoinEngineTest, HeatmapOutputAfterJoin) {
+  Query q = JoinQuery(105, 0, 8000);
+  q.output = OutputKind::kHeatmap;
+  PlanSpec spec;
+  spec.index_mask = 0b010;
+  spec.join_method = JoinMethod::kHash;
+  Result<ExecResult> r = engine_->ExecutePlan(q, spec);
+  ASSERT_TRUE(r.ok());
+  int64_t total = 0;
+  for (const auto& [bin, c] : r.value().vis.bins) total += c;
+  EXPECT_EQ(static_cast<size_t>(total), BruteForceJoin(q).size());
+}
+
+}  // namespace
+}  // namespace maliva

@@ -1,0 +1,157 @@
+// Tests for TableStats: histogram/grid/MCV estimation properties, including
+// the deliberate failure modes the reproduction depends on.
+
+#include <gtest/gtest.h>
+
+#include "engine/table_stats.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace maliva {
+namespace {
+
+using testing_helpers::SmallTweets;
+
+TEST(EquiDepthHistogramTest, UniformDataAccuracy) {
+  Rng rng(1);
+  Column c("v", ColumnType::kDouble);
+  for (int i = 0; i < 20000; ++i) c.AppendDouble(rng.Uniform(0, 100));
+  EquiDepthHistogram h(c, 64);
+  EXPECT_NEAR(h.EstimateSelectivity(0, 100), 1.0, 1e-9);
+  EXPECT_NEAR(h.EstimateSelectivity(25, 75), 0.5, 0.03);
+  EXPECT_NEAR(h.EstimateSelectivity(10, 20), 0.1, 0.02);
+  EXPECT_EQ(h.EstimateSelectivity(200, 300), 0.0);
+  EXPECT_EQ(h.EstimateSelectivity(50, 40), 0.0);  // inverted
+}
+
+TEST(EquiDepthHistogramTest, SkewedDataStillCalibrated) {
+  Rng rng(2);
+  Column c("v", ColumnType::kDouble);
+  for (int i = 0; i < 20000; ++i) c.AppendDouble(rng.LogNormal(0, 1));
+  EquiDepthHistogram h(c, 64);
+  // Equi-depth adapts bucket widths to skew; median range still ~0.5.
+  double sel = h.EstimateSelectivity(0.0, 1.0);  // median of lognormal(0,1) = 1
+  EXPECT_NEAR(sel, 0.5, 0.05);
+}
+
+TEST(EquiDepthHistogramTest, HeavyDuplicates) {
+  Column c("v", ColumnType::kInt64);
+  for (int i = 0; i < 1000; ++i) c.AppendInt64(5);
+  for (int i = 0; i < 100; ++i) c.AppendInt64(10);
+  EquiDepthHistogram h(c, 16);
+  double sel5 = h.EstimateSelectivity(5, 5);
+  EXPECT_GT(sel5, 0.5);  // most buckets are the duplicate value
+}
+
+TEST(EquiDepthHistogramTest, EmptyColumn) {
+  Column c("v", ColumnType::kDouble);
+  EquiDepthHistogram h(c, 16);
+  EXPECT_EQ(h.EstimateSelectivity(0, 1), 0.0);
+}
+
+TEST(GridHistogram2DTest, UniformAccuracy) {
+  Rng rng(3);
+  Column c("p", ColumnType::kPoint);
+  for (int i = 0; i < 20000; ++i) {
+    c.AppendPoint({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  GridHistogram2D g(c, 8);
+  EXPECT_NEAR(g.EstimateSelectivity({0, 0, 10, 10}), 1.0, 0.01);
+  EXPECT_NEAR(g.EstimateSelectivity({0, 0, 5, 10}), 0.5, 0.03);
+  EXPECT_NEAR(g.EstimateSelectivity({2, 2, 4, 4}), 0.04, 0.02);
+  EXPECT_EQ(g.EstimateSelectivity({20, 20, 30, 30}), 0.0);
+}
+
+TEST(GridHistogram2DTest, HotspotUnderestimatedInsideCell) {
+  // All mass concentrated in a tiny hotspot; a small box over the hotspot is
+  // underestimated by the uniformity assumption — the deliberate error.
+  Rng rng(4);
+  Column c("p", ColumnType::kPoint);
+  for (int i = 0; i < 5000; ++i) {
+    c.AppendPoint({rng.Uniform(4.0, 4.2), rng.Uniform(4.0, 4.2)});  // hotspot
+  }
+  for (int i = 0; i < 5000; ++i) {
+    c.AppendPoint({rng.Uniform(0, 10), rng.Uniform(0, 10)});  // background
+  }
+  GridHistogram2D g(c, 8);
+  double est = g.EstimateSelectivity({4.0, 4.0, 4.2, 4.2});
+  // True selectivity is > 0.5; the coarse grid spreads the hotspot mass over
+  // the whole enclosing cell.
+  EXPECT_LT(est, 0.25);
+  EXPECT_GT(est, 0.0);
+}
+
+TEST(TextStatsTest, McvAccurateTailDefaults) {
+  Column c("text", ColumnType::kText);
+  // "top" occurs in 50% of rows, "mid" in 5%, "rare" in 0.1%.
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    std::string s = "base";
+    if (rng.Bernoulli(0.5)) s += " top";
+    if (rng.Bernoulli(0.05)) s += " mid";
+    if (rng.Bernoulli(0.001)) s += " rare";
+    c.AppendText(s);
+  }
+  TextStats stats(c, /*mcv_size=*/2, /*default_selectivity=*/1e-4);
+  // "base" and "top" are the two most common -> accurate.
+  EXPECT_NEAR(stats.EstimateSelectivity("base"), 1.0, 0.01);
+  EXPECT_NEAR(stats.EstimateSelectivity("top"), 0.5, 0.02);
+  // "mid" misses the MCV -> falls to the default, a ~500x underestimate.
+  EXPECT_DOUBLE_EQ(stats.EstimateSelectivity("mid"), 1e-4);
+  EXPECT_DOUBLE_EQ(stats.EstimateSelectivity("absent"), 1e-4);
+  EXPECT_TRUE(stats.IsCommon("top"));
+  EXPECT_FALSE(stats.IsCommon("mid"));
+}
+
+TEST(TableStatsTest, DispatchesByPredicateType) {
+  auto table = SmallTweets(5000, 11);
+  TableStats stats(*table, TableStats::Options{});
+  EXPECT_EQ(stats.num_rows(), 5000u);
+
+  double kw = stats.EstimateSelectivity(Predicate::Keyword("text", "w0"));
+  EXPECT_GT(kw, 0.0);
+  EXPECT_LE(kw, 1.0);
+
+  double tm = stats.EstimateSelectivity(Predicate::Time("created_at", 0, 9999));
+  EXPECT_NEAR(tm, 1.0, 0.02);
+
+  double sp = stats.EstimateSelectivity(
+      Predicate::Spatial("coordinates", {0, 0, 100, 50}));
+  EXPECT_NEAR(sp, 1.0, 0.02);
+}
+
+TEST(TableStatsTest, ConjunctionIsProduct) {
+  auto table = SmallTweets(5000, 12);
+  TableStats stats(*table, TableStats::Options{});
+  Predicate a = Predicate::Time("created_at", 0, 4999);
+  Predicate b = Predicate::Spatial("coordinates", {0, 0, 50, 50});
+  double pa = stats.EstimateSelectivity(a);
+  double pb = stats.EstimateSelectivity(b);
+  EXPECT_NEAR(stats.EstimateConjunction({a, b}), pa * pb, 1e-12);
+}
+
+TEST(TableStatsTest, CorrelationInvisibleToIndependence) {
+  // The "burst" word only occurs within a time window; the independence
+  // assumption underestimates the conjunction of (burst AND window).
+  auto table = SmallTweets(20000, 13);
+  TableStats stats(*table, TableStats::Options{});
+  Predicate kw = Predicate::Keyword("text", "burst");
+  Predicate tm = Predicate::Time("created_at", 5000, 5999);
+  double est = stats.EstimateConjunction({kw, tm});
+
+  // True conjunction selectivity: count directly.
+  size_t match = 0;
+  const Column& text = table->GetColumn("text");
+  const Column& ts = table->GetColumn("created_at");
+  for (RowId r = 0; r < table->NumRows(); ++r) {
+    if (ts.TimestampAt(r) >= 5000 && ts.TimestampAt(r) < 6000 &&
+        text.TextAt(r).find("burst") != std::string::npos) {
+      ++match;
+    }
+  }
+  double truth = static_cast<double>(match) / static_cast<double>(table->NumRows());
+  EXPECT_GT(truth, est * 2.0);  // at least 2x underestimated
+}
+
+}  // namespace
+}  // namespace maliva

@@ -1,0 +1,170 @@
+// QTE tests: cost accounting, selectivity-cache sharing (the C_i updates of
+// the MDP transition), accurate vs sampling estimation behaviour.
+
+#include <gtest/gtest.h>
+
+#include "qte/accurate_qte.h"
+#include "qte/sampling_qte.h"
+#include "test_helpers.h"
+
+namespace maliva {
+namespace {
+
+using testing_helpers::SmallEngine;
+using testing_helpers::SmallQuery;
+
+class QteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_ = SmallEngine(4000, 7);
+    ASSERT_TRUE(engine_->BuildSampleTables("tweets", {0.01}, 3).ok());
+    oracle_ = std::make_unique<PlanTimeOracle>(engine_.get());
+    options_ = EnumerateHintOnlyOptions(3);
+    query_ = SmallQuery(1, "w1", 2000, 7000, {20, 10, 80, 40});
+    ctx_.query = &query_;
+    ctx_.options = &options_;
+    ctx_.engine = engine_.get();
+    ctx_.oracle = oracle_.get();
+    ctx_.unit_cost_ms = 40.0;
+    ctx_.model_eval_ms = 2.0;
+    ctx_.qte_sample_rate = 0.01;
+  }
+
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<PlanTimeOracle> oracle_;
+  RewriteOptionSet options_;
+  Query query_;
+  QteContext ctx_;
+};
+
+TEST_F(QteTest, NumSlotsEqualsPredicates) { EXPECT_EQ(ctx_.NumSlots(), 3u); }
+
+TEST_F(QteTest, NeededSlotsFollowMask) {
+  // Option index == mask for EnumerateHintOnlyOptions.
+  EXPECT_EQ(ctx_.NeededSlots(0b101), (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(ctx_.NeededSlots(0b010), (std::vector<size_t>{1}));
+  // Forced full scan needs every selectivity for the output estimate.
+  EXPECT_EQ(ctx_.NeededSlots(0), (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST_F(QteTest, ActualSlotCostJittersAroundUnit) {
+  for (size_t slot = 0; slot < 3; ++slot) {
+    double c = ctx_.ActualSlotCostMs(slot);
+    EXPECT_GE(c, 0.75 * ctx_.unit_cost_ms);
+    EXPECT_LE(c, 1.25 * ctx_.unit_cost_ms);
+    EXPECT_DOUBLE_EQ(c, ctx_.ActualSlotCostMs(slot));  // deterministic
+  }
+}
+
+TEST_F(QteTest, PredictCostDropsAsSlotsCollected) {
+  AccurateQte qte;
+  SelectivityCache cache(ctx_.NumSlots());
+  double c_before = qte.PredictCostMs(ctx_, 0b111, cache);
+  EXPECT_NEAR(c_before, qte.CostFactor() * 3 * 40.0 + 2.0, 1e-9);
+  cache.Set(0, 0.01);
+  double c_after = qte.PredictCostMs(ctx_, 0b111, cache);
+  EXPECT_NEAR(c_after, qte.CostFactor() * 2 * 40.0 + 2.0, 1e-9);
+}
+
+TEST_F(QteTest, EstimateChargesOnlyMissingSlots) {
+  // Estimating RQ_1 (keyword index) then RQ_5 (keyword+spatial) only pays for
+  // the spatial slot the second time — the paper's Fig 7 transition.
+  AccurateQte qte;
+  SelectivityCache cache(ctx_.NumSlots());
+  QteEstimate first = qte.Estimate(ctx_, 0b001, &cache);
+  EXPECT_NEAR(first.cost_ms, qte.CostFactor() * ctx_.ActualSlotCostMs(0) + 2.0, 1e-9);
+  QteEstimate second = qte.Estimate(ctx_, 0b101, &cache);
+  EXPECT_NEAR(second.cost_ms, qte.CostFactor() * ctx_.ActualSlotCostMs(2) + 2.0, 1e-9);
+  QteEstimate third = qte.Estimate(ctx_, 0b100, &cache);
+  EXPECT_NEAR(third.cost_ms, 2.0, 1e-9);  // everything cached
+}
+
+TEST_F(QteTest, AccurateQteReturnsTrueTime) {
+  AccurateQte qte;
+  SelectivityCache cache(ctx_.NumSlots());
+  for (size_t i = 0; i < options_.size(); ++i) {
+    QteEstimate est = qte.Estimate(ctx_, i, &cache);
+    EXPECT_DOUBLE_EQ(est.est_ms, oracle_->TrueTimeMs(query_, options_[i]));
+  }
+}
+
+TEST_F(QteTest, AccurateQteFillsTrueSelectivities) {
+  AccurateQte qte;
+  SelectivityCache cache(ctx_.NumSlots());
+  qte.Estimate(ctx_, 0b111, &cache);
+  for (size_t slot = 0; slot < 3; ++slot) {
+    ASSERT_TRUE(cache.Has(slot));
+    Result<double> truth = engine_->TrueSelectivity("tweets", query_.predicates[slot]);
+    EXPECT_DOUBLE_EQ(cache.Get(slot), truth.value());
+  }
+}
+
+TEST_F(QteTest, SamplingQteWithinErrorBand) {
+  SamplingQte qte;
+  SelectivityCache cache(ctx_.NumSlots());
+  // Estimate the time-index plan: time selectivity ~0.5 is well measurable on
+  // the 1% sample, so the estimate should be within ~3x of the truth.
+  QteEstimate est = qte.Estimate(ctx_, 0b010, &cache);
+  double truth = oracle_->TrueTimeMs(query_, options_[0b010]);
+  EXPECT_GT(est.est_ms, truth / 3.0);
+  EXPECT_LT(est.est_ms, truth * 3.0);
+}
+
+TEST_F(QteTest, SamplingQteDeterministic) {
+  SamplingQte qte;
+  SelectivityCache c1(ctx_.NumSlots()), c2(ctx_.NumSlots());
+  EXPECT_DOUBLE_EQ(qte.Estimate(ctx_, 3, &c1).est_ms, qte.Estimate(ctx_, 3, &c2).est_ms);
+}
+
+TEST_F(QteTest, SamplingQteCostsSameUnits) {
+  SamplingQte qte;
+  SelectivityCache cache(ctx_.NumSlots());
+  QteEstimate est = qte.Estimate(ctx_, 0b011, &cache);
+  EXPECT_NEAR(est.cost_ms, ctx_.ActualSlotCostMs(0) + ctx_.ActualSlotCostMs(1) + 2.0,
+              1e-9);
+  EXPECT_EQ(cache.NumCollected(), 2u);
+}
+
+TEST(SelectivityCacheTest, Basics) {
+  SelectivityCache cache(4);
+  EXPECT_EQ(cache.num_slots(), 4u);
+  EXPECT_FALSE(cache.Has(0));
+  cache.Set(0, 0.25);
+  EXPECT_TRUE(cache.Has(0));
+  EXPECT_DOUBLE_EQ(cache.Get(0), 0.25);
+  EXPECT_EQ(cache.NumCollected(), 1u);
+  cache.Set(0, 0.5);  // overwrite allowed
+  EXPECT_DOUBLE_EQ(cache.Get(0), 0.5);
+}
+
+TEST(PlanTimeOracleTest, CachesExecutions) {
+  auto engine = SmallEngine(2000, 5);
+  PlanTimeOracle oracle(engine.get());
+  Query q = SmallQuery(9, "w1", 0, 9999, {0, 0, 100, 50});
+  RewriteOption ro;
+  ro.hints.index_mask = 1;
+  double a = oracle.TrueTimeMs(q, ro);
+  EXPECT_EQ(oracle.CacheSize(), 1u);
+  double b = oracle.TrueTimeMs(q, ro);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_EQ(oracle.CacheSize(), 1u);
+  ro.hints.index_mask = 2;
+  oracle.TrueTimeMs(q, ro);
+  EXPECT_EQ(oracle.CacheSize(), 2u);
+}
+
+TEST(PlanTimeOracleTest, DistinguishesApproxOptions) {
+  auto engine = SmallEngine(2000, 5);
+  ASSERT_TRUE(engine->BuildSampleTables("tweets", {0.2}, 3).ok());
+  PlanTimeOracle oracle(engine.get());
+  Query q = SmallQuery(10, "w0", 0, 9999, {0, 0, 100, 50});
+  RewriteOption exact;
+  exact.hints.index_mask = 1;
+  RewriteOption sampled = exact;
+  sampled.approx = {ApproxKind::kSampleTable, 0.2};
+  EXPECT_GT(oracle.TrueTimeMs(q, exact), oracle.TrueTimeMs(q, sampled));
+  EXPECT_EQ(oracle.CacheSize(), 2u);
+}
+
+}  // namespace
+}  // namespace maliva

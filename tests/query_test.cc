@@ -1,0 +1,167 @@
+// Unit tests for query: predicates, hint sets, RO enumeration, rendering.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "query/hints.h"
+#include "query/query.h"
+#include "query/rewritten_query.h"
+
+namespace maliva {
+namespace {
+
+TEST(PredicateTest, Factories) {
+  Predicate k = Predicate::Keyword("text", "CoViD");
+  EXPECT_EQ(k.type, PredicateType::kKeyword);
+  EXPECT_EQ(k.keyword, "covid");  // lower-cased
+
+  Predicate t = Predicate::Time("ts", 10, 20);
+  EXPECT_EQ(t.type, PredicateType::kTimeRange);
+  EXPECT_DOUBLE_EQ(t.range.lo, 10);
+
+  Predicate nu = Predicate::Numeric("x", -1, 1);
+  EXPECT_EQ(nu.type, PredicateType::kNumericRange);
+
+  Predicate s = Predicate::Spatial("p", {0, 0, 1, 1});
+  EXPECT_EQ(s.type, PredicateType::kSpatialBox);
+  EXPECT_DOUBLE_EQ(s.box.max_lon, 1);
+}
+
+TEST(PredicateTest, ToStringRendering) {
+  EXPECT_EQ(Predicate::Keyword("text", "covid").ToString(), "text CONTAINS 'covid'");
+  EXPECT_NE(Predicate::Time("ts", 1, 2).ToString().find("BETWEEN"), std::string::npos);
+  EXPECT_NE(Predicate::Spatial("p", {0, 0, 1, 1}).ToString().find("BOX"),
+            std::string::npos);
+}
+
+TEST(HintSetTest, HasAnyHint) {
+  HintSet h;
+  EXPECT_FALSE(h.HasAnyHint());
+  h.index_mask = 0;
+  EXPECT_TRUE(h.HasAnyHint());  // forced full scan is a hint
+  HintSet j;
+  j.join_method = JoinMethod::kHash;
+  EXPECT_TRUE(j.HasAnyHint());
+}
+
+TEST(HintSetTest, ToStringShowsMaskAndJoin) {
+  HintSet h;
+  h.index_mask = 0b101;
+  h.join_method = JoinMethod::kMerge;
+  std::string s = h.ToString(3);
+  EXPECT_NE(s.find("101"), std::string::npos);
+  EXPECT_NE(s.find("merge"), std::string::npos);
+}
+
+TEST(ApproxRuleTest, Kinds) {
+  ApproxRule none;
+  EXPECT_FALSE(none.IsApproximate());
+  EXPECT_EQ(none.ToString(), "exact");
+  ApproxRule limit{ApproxKind::kLimit, 0.04};
+  EXPECT_TRUE(limit.IsApproximate());
+  EXPECT_NE(limit.ToString().find("limit"), std::string::npos);
+  ApproxRule sample{ApproxKind::kSampleTable, 0.2};
+  EXPECT_NE(sample.ToString().find("sample"), std::string::npos);
+}
+
+TEST(EnumerateHintOnlyTest, CountAndUniqueness) {
+  RewriteOptionSet ro = EnumerateHintOnlyOptions(3);
+  EXPECT_EQ(ro.size(), 8u);
+  std::set<uint32_t> masks;
+  for (const RewriteOption& o : ro) {
+    ASSERT_TRUE(o.hints.index_mask.has_value());
+    masks.insert(*o.hints.index_mask);
+    EXPECT_FALSE(o.IsApproximate());
+    EXPECT_EQ(o.hints.join_method, JoinMethod::kOptimizerChoice);
+  }
+  EXPECT_EQ(masks.size(), 8u);
+}
+
+TEST(EnumerateHintOnlyTest, ScalesWithPredicates) {
+  EXPECT_EQ(EnumerateHintOnlyOptions(4).size(), 16u);
+  EXPECT_EQ(EnumerateHintOnlyOptions(5).size(), 32u);
+  EXPECT_EQ(EnumerateHintOnlyOptions(1).size(), 2u);
+}
+
+TEST(EnumerateJoinTest, PaperCount21) {
+  // (2^3 - 1) non-empty index subsets x 3 join methods = 21 (Section 7.5).
+  RewriteOptionSet ro = EnumerateJoinOptions(3);
+  EXPECT_EQ(ro.size(), 21u);
+  std::set<std::pair<uint32_t, int>> combos;
+  for (const RewriteOption& o : ro) {
+    ASSERT_TRUE(o.hints.index_mask.has_value());
+    EXPECT_NE(*o.hints.index_mask, 0u);  // empty mask excluded
+    EXPECT_NE(o.hints.join_method, JoinMethod::kOptimizerChoice);
+    combos.insert({*o.hints.index_mask, static_cast<int>(o.hints.join_method)});
+  }
+  EXPECT_EQ(combos.size(), 21u);
+}
+
+TEST(CrossWithApproxRulesTest, OneStageLayout) {
+  RewriteOptionSet base = EnumerateHintOnlyOptions(3);
+  std::vector<ApproxRule> rules = {{ApproxKind::kLimit, 0.01},
+                                   {ApproxKind::kLimit, 0.2}};
+  RewriteOptionSet all = CrossWithApproxRules(base, rules, /*include_exact=*/true);
+  EXPECT_EQ(all.size(), 8u + 16u);
+  // First 8 are the exact options.
+  for (size_t i = 0; i < 8; ++i) EXPECT_FALSE(all[i].IsApproximate());
+  for (size_t i = 8; i < all.size(); ++i) EXPECT_TRUE(all[i].IsApproximate());
+}
+
+TEST(CrossWithApproxRulesTest, StageTwoLayout) {
+  RewriteOptionSet base = EnumerateHintOnlyOptions(3);
+  std::vector<ApproxRule> rules = {{ApproxKind::kSampleTable, 0.2},
+                                   {ApproxKind::kSampleTable, 0.4},
+                                   {ApproxKind::kSampleTable, 0.8}};
+  // Paper Fig 11: 8 hint sets x 3 rules = 24 rewritten queries in stage two.
+  RewriteOptionSet all = CrossWithApproxRules(base, rules, /*include_exact=*/false);
+  EXPECT_EQ(all.size(), 24u);
+  for (const RewriteOption& o : all) EXPECT_TRUE(o.IsApproximate());
+}
+
+TEST(QueryTest, ToStringSingleTable) {
+  Query q;
+  q.table = "tweets";
+  q.output = OutputKind::kHeatmap;
+  q.output_column = "coordinates";
+  q.predicates.push_back(Predicate::Keyword("text", "covid"));
+  std::string s = q.ToString();
+  EXPECT_NE(s.find("BIN_ID(coordinates)"), std::string::npos);
+  EXPECT_NE(s.find("FROM tweets"), std::string::npos);
+  EXPECT_NE(s.find("GROUP BY"), std::string::npos);
+}
+
+TEST(QueryTest, ToStringJoin) {
+  Query q;
+  q.table = "tweets";
+  q.output = OutputKind::kScatter;
+  q.output_column = "coordinates";
+  q.predicates.push_back(Predicate::Keyword("text", "covid"));
+  JoinSpec js;
+  js.right_table = "users";
+  js.left_key = "user_id";
+  js.right_key = "id";
+  js.right_predicates.push_back(Predicate::Numeric("tweet_cnt", 100, 5000));
+  q.join = js;
+  std::string s = q.ToString();
+  EXPECT_NE(s.find("JOIN users"), std::string::npos);
+  EXPECT_NE(s.find("tweets.user_id = users.id"), std::string::npos);
+  EXPECT_NE(s.find("users.tweet_cnt"), std::string::npos);
+}
+
+TEST(RewrittenQueryTest, RendersHintPlusQuery) {
+  Query q;
+  q.table = "t";
+  q.output_column = "p";
+  q.predicates.push_back(Predicate::Keyword("text", "x"));
+  RewriteOption ro;
+  ro.hints.index_mask = 1;
+  RewrittenQuery rq{&q, ro};
+  std::string s = rq.ToString();
+  EXPECT_NE(s.find("/*+"), std::string::npos);
+  EXPECT_NE(s.find("FROM t"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace maliva

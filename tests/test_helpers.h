@@ -1,0 +1,107 @@
+// Shared helpers for engine-level tests: a small deterministic dataset with
+// text/time/point columns, plus brute-force evaluation of queries.
+
+#ifndef MALIVA_TESTS_TEST_HELPERS_H_
+#define MALIVA_TESTS_TEST_HELPERS_H_
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "query/query.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace maliva {
+namespace testing_helpers {
+
+/// Builds a small tweets-like table with correlated structure:
+/// word "burst" co-occurs with ts in [5000, 6000) and lon in [40, 60).
+inline std::unique_ptr<Table> SmallTweets(size_t n, uint64_t seed) {
+  Schema schema = {{"id", ColumnType::kInt64},
+                   {"text", ColumnType::kText},
+                   {"created_at", ColumnType::kTimestamp},
+                   {"coordinates", ColumnType::kPoint}};
+  auto t = std::make_unique<Table>("tweets", schema);
+  Rng rng(seed);
+  ZipfTable words(50, 1.1);
+  for (size_t i = 0; i < n; ++i) {
+    int64_t ts = rng.UniformInt(0, 9999);
+    GeoPoint p{rng.Uniform(0, 100), rng.Uniform(0, 50)};
+    std::string text = "w" + std::to_string(words.Sample(&rng)) + " w" +
+                       std::to_string(words.Sample(&rng));
+    if (ts >= 5000 && ts < 6000 && p.lon >= 40 && p.lon < 60 && rng.Bernoulli(0.8)) {
+      text += " burst";
+    }
+    t->MutableColumnAt(0).AppendInt64(static_cast<int64_t>(i));
+    t->MutableColumnAt(1).AppendText(std::move(text));
+    t->MutableColumnAt(2).AppendTimestamp(ts);
+    t->MutableColumnAt(3).AppendPoint(p);
+  }
+  Status st = t->Seal();
+  assert(st.ok());
+  (void)st;
+  return t;
+}
+
+/// Engine with SmallTweets registered and indexed.
+inline std::unique_ptr<Engine> SmallEngine(size_t n = 4000, uint64_t seed = 7,
+                                           EngineProfile profile =
+                                               EngineProfile::PostgresLike()) {
+  auto engine = std::make_unique<Engine>(profile, seed);
+  Status st = engine->RegisterTable(SmallTweets(n, seed),
+                                    {"text", "created_at", "coordinates"});
+  assert(st.ok());
+  (void)st;
+  return engine;
+}
+
+/// Brute-force row ids matching all base predicates of `q` over `table`.
+inline std::vector<RowId> BruteForceMatch(const Table& table, const Query& q) {
+  std::vector<RowId> out;
+  for (RowId r = 0; r < table.NumRows(); ++r) {
+    bool ok = true;
+    for (const Predicate& p : q.predicates) {
+      switch (p.type) {
+        case PredicateType::kKeyword: {
+          std::vector<std::string> toks = Tokenize(table.GetColumn(p.column).TextAt(r));
+          if (std::find(toks.begin(), toks.end(), p.keyword) == toks.end()) ok = false;
+          break;
+        }
+        case PredicateType::kTimeRange:
+        case PredicateType::kNumericRange:
+          if (!p.range.Contains(table.GetColumn(p.column).NumericAt(r))) ok = false;
+          break;
+        case PredicateType::kSpatialBox:
+          if (!p.box.Contains(table.GetColumn(p.column).PointAt(r))) ok = false;
+          break;
+      }
+      if (!ok) break;
+    }
+    if (ok) out.push_back(r);
+  }
+  return out;
+}
+
+/// A three-predicate query over SmallTweets.
+inline Query SmallQuery(uint64_t id, const std::string& word, double ts_lo, double ts_hi,
+                        const BoundingBox& box,
+                        OutputKind output = OutputKind::kScatter) {
+  Query q;
+  q.id = id;
+  q.table = "tweets";
+  q.output = output;
+  q.output_column = "coordinates";
+  q.predicates.push_back(Predicate::Keyword("text", word));
+  q.predicates.push_back(Predicate::Time("created_at", ts_lo, ts_hi));
+  q.predicates.push_back(Predicate::Spatial("coordinates", box));
+  return q;
+}
+
+}  // namespace testing_helpers
+}  // namespace maliva
+
+#endif  // MALIVA_TESTS_TEST_HELPERS_H_
