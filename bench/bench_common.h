@@ -12,7 +12,9 @@
 #include <cstdio>
 #include <string>
 
+#include "harness/experiment.h"
 #include "harness/setup.h"
+#include "service/service.h"
 
 namespace maliva {
 namespace bench {
@@ -28,7 +30,6 @@ inline ScenarioConfig TwitterConfig500ms() {
   cfg.num_rows = kBenchRows;
   cfg.num_queries = kBenchQueries;
   cfg.tau_ms = 500.0;
-  cfg.unit_cost_ms = 40.0;
   cfg.seed = 101;
   return cfg;
 }
@@ -39,7 +40,6 @@ inline ScenarioConfig TaxiConfig1s() {
   cfg.num_rows = kBenchRows;
   cfg.num_queries = kBenchQueries;
   cfg.tau_ms = 1000.0;
-  cfg.unit_cost_ms = 40.0;
   cfg.seed = 202;
   // NYC Taxi emulates 500M rows.
   cfg.profile.cardinality_scale = 1000.0;
@@ -52,18 +52,14 @@ inline ScenarioConfig TpchConfig500ms() {
   cfg.num_rows = kBenchRows;
   cfg.num_queries = kBenchQueries;
   cfg.tau_ms = 500.0;
-  cfg.unit_cost_ms = 40.0;
   cfg.seed = 303;
   // TPC-H emulates 300M rows.
   cfg.profile.cardinality_scale = 600.0;
   return cfg;
 }
 
-inline ExperimentSetup::Options DefaultSetupOptions() {
-  ExperimentSetup::Options opt;
-  opt.trainer.max_iterations = 25;
-  opt.num_agent_seeds = 2;
-  return opt;
+inline ServiceConfig DefaultServiceConfig() {
+  return ServiceConfig().WithTrainerIterations(25).WithAgentSeeds(2);
 }
 
 /// Simple wall-clock stopwatch for reporting bench phases.

@@ -17,10 +17,10 @@ namespace {
 void RunDataset(const ScenarioConfig& cfg) {
   Stopwatch sw;
   Scenario s = BuildScenario(cfg);
-  ExperimentSetup setup(&s, DefaultSetupOptions());
+  MalivaService service(&s, DefaultServiceConfig());
 
-  std::vector<Approach> approaches = {setup.Baseline(), setup.Bao(),
-                                      setup.MdpApproximate(), setup.MdpAccurate()};
+  std::vector<Approach> approaches =
+      ApproachesFor(service, {"baseline", "bao", "mdp/sampling", "mdp/accurate"});
 
   BucketedWorkload bw = BucketQueries(*s.oracle, s.evaluation, s.options, cfg.tau_ms,
                                       BucketScheme::Exact0To4());

@@ -20,12 +20,12 @@ void RunOptions(size_t num_attrs, const BucketScheme& scheme, bool include_naive
   cfg.num_attrs = num_attrs;
   cfg.seed = seed;
   Scenario s = BuildScenario(cfg);
-  ExperimentSetup setup(&s, DefaultSetupOptions());
+  MalivaService service(&s, DefaultServiceConfig());
 
-  std::vector<Approach> approaches = {setup.Baseline(), setup.Bao()};
-  if (include_naive) approaches.push_back(setup.NaiveApproximate());
-  approaches.push_back(setup.MdpApproximate());
-  approaches.push_back(setup.MdpAccurate());
+  std::vector<Approach> approaches = ApproachesFor(service, {"baseline", "bao"});
+  if (include_naive) approaches.push_back(ApproachFor(service, "naive"));
+  approaches.push_back(ApproachFor(service, "mdp/sampling"));
+  approaches.push_back(ApproachFor(service, "mdp/accurate"));
 
   BucketedWorkload bw =
       BucketQueries(*s.oracle, s.evaluation, s.options, cfg.tau_ms, scheme);

@@ -18,10 +18,10 @@ void RunBudget(double tau_ms) {
   ScenarioConfig cfg = TwitterConfig500ms();
   cfg.tau_ms = tau_ms;
   Scenario s = BuildScenario(cfg);
-  ExperimentSetup setup(&s, DefaultSetupOptions());
+  MalivaService service(&s, DefaultServiceConfig());
 
-  std::vector<Approach> approaches = {setup.Baseline(), setup.Bao(),
-                                      setup.MdpApproximate(), setup.MdpAccurate()};
+  std::vector<Approach> approaches =
+      ApproachesFor(service, {"baseline", "bao", "mdp/sampling", "mdp/accurate"});
   BucketedWorkload bw = BucketQueries(*s.oracle, s.evaluation, s.options, tau_ms,
                                       BucketScheme::Exact0To4());
   ExperimentResult r = RunExperiment(approaches, bw);

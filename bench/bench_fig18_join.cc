@@ -18,10 +18,10 @@ int main() {
   cfg.num_users = 20000;
   cfg.seed = 606;
   Scenario s = BuildScenario(cfg);
-  ExperimentSetup setup(&s, DefaultSetupOptions());
+  MalivaService service(&s, DefaultServiceConfig());
 
-  std::vector<Approach> approaches = {setup.Baseline(), setup.Bao(),
-                                      setup.MdpApproximate(), setup.MdpAccurate()};
+  std::vector<Approach> approaches =
+      ApproachesFor(service, {"baseline", "bao", "mdp/sampling", "mdp/accurate"});
   BucketedWorkload bw = BucketQueries(*s.oracle, s.evaluation, s.options, cfg.tau_ms,
                                       BucketScheme::JoinRanges());
   ExperimentResult r = RunExperiment(approaches, bw);

@@ -51,9 +51,9 @@ void UnseenQueries() {
     }
   }
 
-  ExperimentSetup setup(&s, DefaultSetupOptions());
-  std::vector<Approach> approaches = {setup.Baseline(), setup.MdpApproximate(),
-                                      setup.MdpAccurate()};
+  MalivaService service(&s, DefaultServiceConfig());
+  std::vector<Approach> approaches =
+      ApproachesFor(service, {"baseline", "mdp/sampling", "mdp/accurate"});
   BucketedWorkload bw = BucketQueries(*s.oracle, s.evaluation, s.options, cfg.tau_ms,
                                       BucketScheme::Exact0To4());
   ExperimentResult r = RunExperiment(approaches, bw);
@@ -70,9 +70,9 @@ void CommercialDatabase() {
   cfg.tau_ms = 250.0;
   cfg.seed = 808;
   Scenario s = BuildScenario(cfg);
-  ExperimentSetup setup(&s, DefaultSetupOptions());
-  std::vector<Approach> approaches = {setup.Baseline(), setup.MdpApproximate(),
-                                      setup.MdpAccurate()};
+  MalivaService service(&s, DefaultServiceConfig());
+  std::vector<Approach> approaches =
+      ApproachesFor(service, {"baseline", "mdp/sampling", "mdp/accurate"});
   BucketedWorkload bw = BucketQueries(*s.oracle, s.evaluation, s.options, cfg.tau_ms,
                                       BucketScheme::Ranges16());
   ExperimentResult r = RunExperiment(approaches, bw);

@@ -20,19 +20,17 @@ int main() {
   cfg.seed = 910;
   Scenario s = BuildScenario(cfg);
 
-  ExperimentSetup::Options opt = DefaultSetupOptions();
-  opt.beta = 0.5;
-  ExperimentSetup setup(&s, opt);
-
   std::vector<ApproxRule> rules = {{ApproxKind::kLimit, 0.00032},
                                    {ApproxKind::kLimit, 0.0016},
                                    {ApproxKind::kLimit, 0.008},
                                    {ApproxKind::kLimit, 0.04},
                                    {ApproxKind::kLimit, 0.2}};
 
-  std::vector<Approach> approaches = {
-      setup.Baseline(), setup.MdpAccurate(), setup.TwoStageQualityAware(rules),
-      setup.OneStageQualityAware(rules)};
+  MalivaService service(
+      &s, DefaultServiceConfig().WithBeta(0.5).WithApproxRules(rules));
+  std::vector<Approach> approaches = ApproachesFor(
+      service,
+      {"baseline", "mdp/accurate", "quality/two-stage", "quality/one-stage"});
 
   BucketedWorkload bw = BucketQueries(*s.oracle, s.evaluation, s.options, cfg.tau_ms,
                                       BucketScheme::Exact0To4());

@@ -25,7 +25,7 @@ struct CurvePoint {
   double train_mean, train_std, valid_mean, valid_std, time_mean, time_std;
 };
 
-CurvePoint MeasurePoint(ExperimentSetup& setup, Scenario& s, size_t train_size,
+CurvePoint MeasurePoint(MalivaService& service, Scenario& s, size_t train_size,
                         uint64_t seed_base) {
   std::vector<double> train_vqp, valid_vqp, train_time;
   Rng rng(seed_base);
@@ -39,10 +39,10 @@ CurvePoint MeasurePoint(ExperimentSetup& setup, Scenario& s, size_t train_size,
 
     Stopwatch sw;
     std::unique_ptr<QAgent> agent =
-        setup.TrainAgentOn(subset, seed_base + rep * 131, nullptr);
+        service.TrainAgentOn(subset, seed_base + rep * 131, nullptr);
     train_time.push_back(sw.Seconds());
-    train_vqp.push_back(setup.EvaluateAgentVqp(*agent, subset));
-    valid_vqp.push_back(setup.EvaluateAgentVqp(*agent, s.validation));
+    train_vqp.push_back(service.EvaluateAgentVqp(*agent, subset));
+    valid_vqp.push_back(service.EvaluateAgentVqp(*agent, s.validation));
   }
   return {Mean(train_vqp),  Stddev(train_vqp), Mean(valid_vqp),
           Stddev(valid_vqp), Mean(train_time), Stddev(train_time)};
@@ -52,10 +52,10 @@ void RunWorkload(size_t num_attrs, double unit_cost_ms, uint64_t seed,
                  bool print_curve) {
   ScenarioConfig cfg = TwitterConfig500ms();
   cfg.num_attrs = num_attrs;
-  cfg.unit_cost_ms = unit_cost_ms;
+  cfg.qte.unit_cost_ms = unit_cost_ms;
   cfg.seed = seed;
   Scenario s = BuildScenario(cfg);
-  ExperimentSetup setup(&s, DefaultSetupOptions());
+  MalivaService service(&s, DefaultServiceConfig());
 
   size_t num_options = s.options.size();
   std::printf("\n== %zu rewrite options (unit cost %.0fms) ==\n", num_options,
@@ -63,7 +63,7 @@ void RunWorkload(size_t num_attrs, double unit_cost_ms, uint64_t seed,
   std::printf("%-8s %-22s %-22s %s\n", "queries", "train VQP (mean+-std)",
               "valid VQP (mean+-std)", "train time s (mean+-std)");
   for (size_t n : kTrainSizes) {
-    CurvePoint p = MeasurePoint(setup, s, n, seed * 17 + n);
+    CurvePoint p = MeasurePoint(service, s, n, seed * 17 + n);
     if (print_curve) {
       std::printf("%-8zu %6.1f +- %-12.1f %6.1f +- %-12.1f %6.2f +- %.2f\n", n,
                   p.train_mean, p.train_std, p.valid_mean, p.valid_std, p.time_mean,

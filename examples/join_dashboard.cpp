@@ -3,10 +3,26 @@
 // and the join method (nested-loop / hash / merge) among 21 rewrite options.
 
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
 
-#include "harness/setup.h"
+#include "service/service.h"
 
 using namespace maliva;
+
+namespace {
+
+/// Unwraps a serve result, exiting loudly on error.
+RewriteResponse MustServe(MalivaService& service, const RewriteRequest& req) {
+  Result<RewriteResponse> resp = service.Serve(req);
+  if (!resp.ok()) {
+    std::fprintf(stderr, "serve failed: %s\n", resp.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(resp).value();
+}
+
+}  // namespace
 
 int main() {
   std::printf("Building the tweets JOIN users scenario (21 rewrite options)...\n");
@@ -19,23 +35,25 @@ int main() {
   cfg.tau_ms = 500.0;
   Scenario scenario = BuildScenario(cfg);
 
-  ExperimentSetup::Options opt;
-  opt.trainer.max_iterations = 20;
-  opt.num_agent_seeds = 1;
-  ExperimentSetup setup(&scenario, opt);
-  Approach baseline = setup.Baseline();
-  Approach maliva = setup.MdpAccurate();
+  MalivaService service(
+      &scenario, ServiceConfig().WithTrainerIterations(20).WithAgentSeeds(1));
 
   // How often does each join method win, according to Maliva's decisions?
   size_t method_counts[4] = {0, 0, 0, 0};
   size_t base_ok = 0, mdp_ok = 0, n = 0;
   for (const Query* q : scenario.evaluation) {
-    RewriteOutcome b = baseline.rewrite(*q);
-    RewriteOutcome m = maliva.rewrite(*q);
+    RewriteRequest base_req;
+    base_req.query = q;
+    base_req.strategy = "baseline";
+    RewriteRequest mdp_req;
+    mdp_req.query = q;
+    mdp_req.strategy = "mdp/accurate";
+    RewriteOutcome b = MustServe(service, base_req).outcome;
+    RewriteResponse m = MustServe(service, mdp_req);
     base_ok += b.viable ? 1 : 0;
-    mdp_ok += m.viable ? 1 : 0;
+    mdp_ok += m.outcome.viable ? 1 : 0;
     ++n;
-    JoinMethod jm = scenario.options[m.option_index].hints.join_method;
+    JoinMethod jm = m.option->hints.join_method;
     ++method_counts[static_cast<size_t>(jm)];
   }
 
@@ -52,12 +70,14 @@ int main() {
 
   // Detail one request end-to-end.
   const Query& q = *scenario.evaluation[0];
-  RewriteOutcome out = maliva.rewrite(q);
-  RewrittenQuery rq{&q, scenario.options[out.option_index]};
+  RewriteRequest req;
+  req.query = &q;
+  req.strategy = "mdp/accurate";
+  RewriteResponse resp = MustServe(service, req);
   std::printf("\nExample request:\n  %s\n", q.ToString().c_str());
-  std::printf("Rewritten as:\n  %s\n", rq.ToString().c_str());
+  std::printf("Rewritten as:\n  %s\n", resp.rewritten_sql.c_str());
   std::printf("Planning %.0f ms + execution %.0f ms = %.0f ms (%s)\n",
-              out.planning_ms, out.exec_ms, out.total_ms,
-              out.viable ? "interactive" : "too slow");
+              resp.outcome.planning_ms, resp.outcome.exec_ms, resp.outcome.total_ms,
+              resp.outcome.viable ? "interactive" : "too slow");
   return 0;
 }

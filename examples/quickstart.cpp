@@ -1,14 +1,15 @@
-// Quickstart: build a small Twitter-like scenario, train a Maliva agent, and
-// rewrite one visualization query under a 500ms budget.
+// Quickstart: build a small Twitter-like scenario, stand up a MalivaService,
+// and rewrite visualization queries under a 500ms budget.
 //
-//   $ ./build/examples/quickstart
+//   $ ./build/quickstart
 //
-// Walks through the full public API: scenario assembly, training
-// (Algorithm 1), online rewriting (Algorithm 2), and outcome inspection.
+// Walks through the full public API: scenario assembly, service
+// configuration, strategy selection by name, per-request budgets, and
+// batched serving.
 
 #include <cstdio>
 
-#include "harness/setup.h"
+#include "service/service.h"
 
 using namespace maliva;
 
@@ -24,40 +25,72 @@ int main() {
   cfg.tau_ms = 500.0;
   Scenario scenario = BuildScenario(cfg);
 
-  // 2. Train the MDP agent with the accurate QTE (and Bao for comparison).
-  std::printf("Training the MDP agent (deep Q-learning, Algorithm 1)...\n");
-  ExperimentSetup::Options opt;
-  opt.trainer.max_iterations = 20;
-  opt.num_agent_seeds = 1;
-  ExperimentSetup setup(&scenario, opt);
-  Approach maliva = setup.MdpAccurate();
-  Approach baseline = setup.Baseline();
+  // 2. Stand up the service. Strategies are built (and their agents trained,
+  //    Algorithm 1) lazily the first time a request names them.
+  MalivaService service(
+      &scenario, ServiceConfig().WithTrainerIterations(20).WithAgentSeeds(1));
 
-  // 3. Rewrite a few evaluation queries online and compare with the baseline.
+  // 3. Serve a batch: every evaluation query once through the MDP rewriter
+  //    and once through the no-rewriting baseline.
+  std::printf("Serving evaluation queries (training on first use)...\n");
+  std::vector<RewriteRequest> requests;
+  for (const Query* q : scenario.evaluation) {
+    RewriteRequest mdp;
+    mdp.query = q;
+    mdp.strategy = "mdp/accurate";
+    requests.push_back(mdp);
+    RewriteRequest base;
+    base.query = q;
+    base.strategy = "baseline";
+    requests.push_back(base);
+  }
+  std::vector<Result<RewriteResponse>> responses = service.ServeBatch(requests);
+
   std::printf("\n%-6s %-11s %-11s %-9s %-9s\n", "query", "baseline(s)", "maliva(s)",
               "b.viable", "m.viable");
   size_t shown = 0;
-  for (const Query* q : scenario.evaluation) {
-    RewriteOutcome base = baseline.rewrite(*q);
-    RewriteOutcome mdp = maliva.rewrite(*q);
+  for (size_t i = 0; i + 1 < responses.size() && shown < 8; i += 2) {
+    if (!responses[i].ok() || !responses[i + 1].ok()) {
+      std::printf("serve failed: %s\n",
+                  (responses[i].ok() ? responses[i + 1] : responses[i])
+                      .status().ToString().c_str());
+      return 1;
+    }
+    const RewriteOutcome& mdp = responses[i].value().outcome;
+    const RewriteOutcome& base = responses[i + 1].value().outcome;
     if (base.viable && mdp.viable) continue;  // show the interesting cases
     std::printf("%-6llu %-11.3f %-11.3f %-9s %-9s\n",
-                static_cast<unsigned long long>(q->id), base.total_ms / 1000.0,
-                mdp.total_ms / 1000.0, base.viable ? "yes" : "NO",
-                mdp.viable ? "yes" : "NO");
-    if (++shown == 8) break;
+                static_cast<unsigned long long>(requests[i].query->id),
+                base.total_ms / 1000.0, mdp.total_ms / 1000.0,
+                base.viable ? "yes" : "NO", mdp.viable ? "yes" : "NO");
+    ++shown;
   }
 
-  // 4. Inspect one rewriting in detail: the chosen hint set as SQL.
-  const Query& q = *scenario.evaluation[0];
-  RewriteOutcome out = maliva.rewrite(q);
-  RewrittenQuery rq{&q, scenario.options[out.option_index]};
-  std::printf("\nOriginal query:\n  %s\n", q.ToString().c_str());
+  // 4. Inspect one rewriting in detail: per-request budget override and the
+  //    chosen hint set rendered as SQL.
+  RewriteRequest req;
+  req.query = scenario.evaluation[0];
+  req.strategy = "mdp/accurate";
+  req.tau_ms = 750.0;  // this dashboard tile tolerates a slower refresh
+  Result<RewriteResponse> resp = service.Serve(req);
+  if (!resp.ok()) {
+    std::printf("serve failed: %s\n", resp.status().ToString().c_str());
+    return 1;
+  }
+  const RewriteOutcome& out = resp.value().outcome;
+  std::printf("\nOriginal query:\n  %s\n", req.query->ToString().c_str());
   std::printf("Maliva's rewritten query (planning took %.0f virtual ms, %zu QTE "
               "calls):\n  %s\n",
-              out.planning_ms, out.steps, rq.ToString().c_str());
+              out.planning_ms, out.steps, resp.value().rewritten_sql.c_str());
   std::printf("Execution: %.0f ms -> total %.0f ms (%s the %.0f ms budget)\n",
               out.exec_ms, out.total_ms, out.viable ? "within" : "exceeds",
-              cfg.tau_ms);
+              *req.tau_ms);
+
+  // 5. The factory knows every registered strategy by name.
+  std::printf("\nRegistered strategies:");
+  for (const std::string& name : service.RegisteredStrategies()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n");
   return 0;
 }

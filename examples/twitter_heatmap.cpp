@@ -5,13 +5,25 @@
 // fraction served interactively.
 
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
 
-#include "harness/setup.h"
+#include "service/service.h"
 #include "util/stats.h"
 
 using namespace maliva;
 
 namespace {
+
+/// Unwraps a serve result, exiting loudly on error.
+RewriteResponse MustServe(MalivaService& service, const RewriteRequest& req) {
+  Result<RewriteResponse> resp = service.Serve(req);
+  if (!resp.ok()) {
+    std::fprintf(stderr, "serve failed: %s\n", resp.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(resp).value();
+}
 
 /// A dashboard session: each step changes keyword, time window, or viewport.
 std::vector<Query> MakeSession(const Scenario& scenario, size_t steps) {
@@ -37,12 +49,12 @@ int main() {
   cfg.tau_ms = 500.0;
   Scenario scenario = BuildScenario(cfg);
 
-  ExperimentSetup::Options opt;
-  opt.trainer.max_iterations = 20;
-  opt.num_agent_seeds = 1;
-  ExperimentSetup setup(&scenario, opt);
-  Approach baseline = setup.Baseline();
-  Approach maliva = setup.MdpApproximate();  // sampling QTE: fully online
+  // The sampling QTE keeps planning fully online (no offline selectivity
+  // collection), which suits a dashboard backend.
+  MalivaService service(&scenario, ServiceConfig()
+                                       .WithTrainerIterations(20)
+                                       .WithAgentSeeds(1)
+                                       .WithDefaultStrategy("mdp/sampling"));
 
   std::vector<Query> session = MakeSession(scenario, 40);
   std::printf("Serving a %zu-step dashboard session (budget 500ms/request)...\n\n",
@@ -51,8 +63,13 @@ int main() {
   std::vector<double> base_ms, mdp_ms;
   size_t base_ok = 0, mdp_ok = 0;
   for (const Query& q : session) {
-    RewriteOutcome b = baseline.rewrite(q);
-    RewriteOutcome m = maliva.rewrite(q);
+    RewriteRequest base_req;
+    base_req.query = &q;
+    base_req.strategy = "baseline";
+    RewriteRequest mdp_req;
+    mdp_req.query = &q;  // strategy defaults to "mdp/sampling"
+    RewriteOutcome b = MustServe(service, base_req).outcome;
+    RewriteOutcome m = MustServe(service, mdp_req).outcome;
     base_ms.push_back(b.total_ms);
     mdp_ms.push_back(m.total_ms);
     base_ok += b.viable ? 1 : 0;
@@ -72,26 +89,28 @@ int main() {
 
   // Show the heatmap itself for the first request, ASCII-style.
   const Query& q = session.front();
-  RewriteOutcome out = maliva.rewrite(q);
-  RewrittenQuery rq{&q, scenario.options[out.option_index]};
-  Result<ExecResult> exec = scenario.engine->Execute(rq);
-  if (exec.ok()) {
-    std::printf("\nFirst request's heatmap (%d x %d bins, '#' = dense):\n",
-                q.heatmap_bins, q.heatmap_bins);
-    int bins = q.heatmap_bins;
-    int64_t max_count = 1;
-    for (const auto& [bin, c] : exec.value().vis.bins) {
-      max_count = std::max(max_count, c);
-    }
-    for (int y = bins - 1; y >= 0; y -= 2) {  // downsample rows for terminal
-      for (int x = 0; x < bins; ++x) {
-        auto it = exec.value().vis.bins.find(static_cast<int64_t>(y) * bins + x);
-        int64_t c = it == exec.value().vis.bins.end() ? 0 : it->second;
-        const char* shades = " .:+#";
-        int level = c == 0 ? 0 : 1 + static_cast<int>(3.0 * c / max_count);
-        std::printf("%c", shades[std::min(level, 4)]);
+  Result<RewriteResponse> resp = service.Serve({.query = &q});
+  if (resp.ok() && resp.value().option != nullptr) {
+    RewrittenQuery rq{&q, *resp.value().option};
+    Result<ExecResult> exec = scenario.engine->Execute(rq);
+    if (exec.ok()) {
+      std::printf("\nFirst request's heatmap (%d x %d bins, '#' = dense):\n",
+                  q.heatmap_bins, q.heatmap_bins);
+      int bins = q.heatmap_bins;
+      int64_t max_count = 1;
+      for (const auto& [bin, c] : exec.value().vis.bins) {
+        max_count = std::max(max_count, c);
       }
-      std::printf("\n");
+      for (int y = bins - 1; y >= 0; y -= 2) {  // downsample rows for terminal
+        for (int x = 0; x < bins; ++x) {
+          auto it = exec.value().vis.bins.find(static_cast<int64_t>(y) * bins + x);
+          int64_t c = it == exec.value().vis.bins.end() ? 0 : it->second;
+          const char* shades = " .:+#";
+          int level = c == 0 ? 0 : 1 + static_cast<int>(3.0 * c / max_count);
+          std::printf("%c", shades[std::min(level, 4)]);
+        }
+        std::printf("\n");
+      }
     }
   }
   return 0;

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verification sequence: configure, build, test.
+#
+# The service layer (src/service/) is held to -Wall -Wextra with warnings
+# treated as errors; the rest of the tree builds with default flags.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . -DMALIVA_SERVICE_WERROR=ON
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"

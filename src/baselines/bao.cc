@@ -88,7 +88,8 @@ std::unique_ptr<BaoQte> BaoTrainer::Train(const std::vector<const Query*>& workl
   return qte;
 }
 
-RewriteOutcome BaoRewriter::Rewrite(const Query& query) const {
+RewriteOutcome BaoRewriter::RewriteWithBudget(const Query& query,
+                                              double tau_ms) const {
   double planning_ms = engine_->profile().optimizer_ms;
   size_t best = 0;
   double best_pred = std::numeric_limits<double>::infinity();
@@ -107,7 +108,7 @@ RewriteOutcome BaoRewriter::Rewrite(const Query& query) const {
   out.planning_ms = planning_ms;
   out.exec_ms = oracle_->TrueTimeMs(query, (*options_)[best]);
   out.total_ms = out.planning_ms + out.exec_ms;
-  out.viable = out.total_ms <= tau_ms_;
+  out.viable = out.total_ms <= tau_ms;
   out.steps = options_->size();
   out.quality = 1.0;
   return out;

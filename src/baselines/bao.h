@@ -69,7 +69,7 @@ class BaoTrainer {
 };
 
 /// Bao's online strategy: enumerate all options, predict, take the argmin.
-class BaoRewriter {
+class BaoRewriter : public Rewriter {
  public:
   BaoRewriter(const Engine* engine, const PlanTimeOracle* oracle,
               const RewriteOptionSet* options, const BaoQte* qte, double tau_ms,
@@ -81,9 +81,14 @@ class BaoRewriter {
         tau_ms_(tau_ms),
         per_plan_cost_ms_(per_plan_cost_ms) {}
 
-  const std::string& name() const { return name_; }
+  const std::string& name() const override { return name_; }
+  double default_tau_ms() const override { return tau_ms_; }
 
-  RewriteOutcome Rewrite(const Query& query) const;
+  RewriteOutcome RewriteWithBudget(const Query& query, double tau_ms) const override;
+
+  const RewriteOption* DecidedOption(const RewriteOutcome& outcome) const override {
+    return &(*options_)[outcome.option_index];
+  }
 
  private:
   const Engine* engine_;

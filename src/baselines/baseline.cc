@@ -4,20 +4,22 @@
 
 namespace maliva {
 
-RewriteOutcome BaselineRewriter::Rewrite(const Query& query) const {
+RewriteOutcome BaselineRewriter::RewriteWithBudget(const Query& query,
+                                                   double tau_ms) const {
   RewriteOutcome out;
   out.option_index = 0;
   out.planning_ms = engine_->profile().optimizer_ms;
   RewriteOption unhinted;  // optimizer resolves everything
   out.exec_ms = oracle_->TrueTimeMs(query, unhinted);
   out.total_ms = out.planning_ms + out.exec_ms;
-  out.viable = out.total_ms <= tau_ms_;
+  out.viable = out.total_ms <= tau_ms;
   out.steps = 0;
   out.quality = 1.0;
   return out;
 }
 
-RewriteOutcome NaiveRewriter::Rewrite(const Query& query) const {
+RewriteOutcome NaiveRewriter::RewriteWithBudget(const Query& query,
+                                                double tau_ms) const {
   QteContext ctx = renv_.MakeContext(query);
   SelectivityCache cache(ctx.NumSlots());
 
@@ -39,7 +41,7 @@ RewriteOutcome NaiveRewriter::Rewrite(const Query& query) const {
   const RewriteOption& option = (*renv_.options)[best];
   out.exec_ms = renv_.oracle->TrueTimeMs(query, option);
   out.total_ms = out.planning_ms + out.exec_ms;
-  out.viable = out.total_ms <= renv_.env_config.tau_ms;
+  out.viable = out.total_ms <= tau_ms;
   out.steps = renv_.options->size();
   out.approximate = option.IsApproximate();
   if (renv_.env_config.quality != nullptr) {

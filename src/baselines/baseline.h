@@ -11,14 +11,15 @@ namespace maliva {
 
 /// Sends the original query with no hints; the engine's cost-based optimizer
 /// (with its estimation errors) picks the physical plan.
-class BaselineRewriter {
+class BaselineRewriter : public Rewriter {
  public:
   BaselineRewriter(const Engine* engine, const PlanTimeOracle* oracle, double tau_ms)
       : engine_(engine), oracle_(oracle), tau_ms_(tau_ms) {}
 
-  const std::string& name() const { return name_; }
+  const std::string& name() const override { return name_; }
+  double default_tau_ms() const override { return tau_ms_; }
 
-  RewriteOutcome Rewrite(const Query& query) const;
+  RewriteOutcome RewriteWithBudget(const Query& query, double tau_ms) const override;
 
  private:
   const Engine* engine_;
@@ -30,14 +31,19 @@ class BaselineRewriter {
 /// Brute-force middleware: estimates every rewritten query with the QTE
 /// (paying all estimation costs), then picks the fastest estimate. This is
 /// the paper's "Naive (Approximate-QTE)" comparator.
-class NaiveRewriter {
+class NaiveRewriter : public Rewriter {
  public:
   NaiveRewriter(RewriterEnv renv, std::string name)
       : renv_(std::move(renv)), name_(std::move(name)) {}
 
-  const std::string& name() const { return name_; }
+  const std::string& name() const override { return name_; }
+  double default_tau_ms() const override { return renv_.env_config.tau_ms; }
 
-  RewriteOutcome Rewrite(const Query& query) const;
+  RewriteOutcome RewriteWithBudget(const Query& query, double tau_ms) const override;
+
+  const RewriteOption* DecidedOption(const RewriteOutcome& outcome) const override {
+    return &(*renv_.options)[outcome.option_index];
+  }
 
  private:
   RewriterEnv renv_;

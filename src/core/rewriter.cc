@@ -11,10 +11,7 @@ QteContext RewriterEnv::MakeContext(const Query& query) const {
   ctx.options = options;
   ctx.engine = engine;
   ctx.oracle = oracle;
-  ctx.unit_cost_ms = qte_params.unit_cost_ms;
-  ctx.model_eval_ms = qte_params.model_eval_ms;
-  ctx.qte_sample_rate = qte_params.qte_sample_rate;
-  ctx.jitter_seed = qte_params.jitter_seed;
+  ctx.params = qte_params;
   return ctx;
 }
 
@@ -37,6 +34,13 @@ RewriteOutcome OutcomeFromEnv(const RewriterEnv& renv, const QueryEnv& env,
   return out;
 }
 
+/// Copy of `renv` serving under `tau_ms` instead of its configured budget.
+RewriterEnv WithBudget(const RewriterEnv& renv, double tau_ms) {
+  RewriterEnv out = renv;
+  out.env_config.tau_ms = tau_ms;
+  return out;
+}
+
 }  // namespace
 
 RewriteOutcome RunGreedyEpisode(const RewriterEnv& renv, const QAgent& agent,
@@ -50,15 +54,17 @@ RewriteOutcome RunGreedyEpisode(const RewriterEnv& renv, const QAgent& agent,
   return OutcomeFromEnv(renv, env, query);
 }
 
-RewriteOutcome MalivaRewriter::Rewrite(const Query& query) const {
-  return RunGreedyEpisode(renv_, *agent_, query);
+RewriteOutcome MalivaRewriter::RewriteWithBudget(const Query& query,
+                                                 double tau_ms) const {
+  return RunGreedyEpisode(WithBudget(renv_, tau_ms), *agent_, query);
 }
 
-RewriteOutcome TwoStageRewriter::Rewrite(const Query& query) const {
+RewriteOutcome TwoStageRewriter::RewriteWithBudget(const Query& query,
+                                                   double tau) const {
   // Stage 1: exact (hint-only) options.
-  QteContext ctx1 = exact_.MakeContext(query);
-  QueryEnv env1(&ctx1, exact_.qte, exact_.env_config);
-  double tau = exact_.env_config.tau_ms;
+  RewriterEnv exact = WithBudget(exact_, tau);
+  QteContext ctx1 = exact.MakeContext(query);
+  QueryEnv env1(&ctx1, exact.qte, exact.env_config);
 
   while (!env1.terminal()) {
     size_t action = exact_agent_->GreedyAction(env1.Features(), env1.valid_actions());
@@ -70,7 +76,7 @@ RewriteOutcome TwoStageRewriter::Rewrite(const Query& query) const {
   bool found_viable = env1.elapsed_ms() + env1.decided_exec_ms() <= tau;
 
   if (found_viable || out_of_time || !exhausted) {
-    RewriteOutcome out = OutcomeFromEnv(exact_, env1, query);
+    RewriteOutcome out = OutcomeFromEnv(exact, env1, query);
     return out;
   }
 
@@ -80,15 +86,16 @@ RewriteOutcome TwoStageRewriter::Rewrite(const Query& query) const {
 
   // Stage 2: approximate options, resuming the elapsed budget and the
   // collected selectivities.
-  QteContext ctx2 = approx_.MakeContext(query);
-  QueryEnv env2(&ctx2, approx_.qte, approx_.env_config, env1.elapsed_ms(),
+  RewriterEnv approx = WithBudget(approx_, tau);
+  QteContext ctx2 = approx.MakeContext(query);
+  QueryEnv env2(&ctx2, approx.qte, approx.env_config, env1.elapsed_ms(),
                 &env1.cache());
   while (!env2.terminal()) {
     size_t action = approx_agent_->GreedyAction(env2.Features(), env2.valid_actions());
     env2.Step(action);
   }
 
-  RewriteOutcome out2 = OutcomeFromEnv(approx_, env2, query);
+  RewriteOutcome out2 = OutcomeFromEnv(approx, env2, query);
   // If stage 2 also failed to find a viable RQ, fall back to whichever option
   // (stage 1 exact best vs stage 2 decision) is faster.
   if (!out2.viable && stage1_best_est < out2.exec_ms) {

@@ -1,5 +1,10 @@
 // Online query rewriting with a trained agent (Algorithm 2) and the
 // quality-aware one-stage / two-stage rewriters (Section 6.2).
+//
+// Every rewriting strategy — the paper's MDP approaches and the comparator
+// baselines alike — implements the polymorphic `Rewriter` interface, so the
+// serving layer (src/service/) can select strategies by configuration name
+// instead of bespoke constructors.
 
 #ifndef MALIVA_CORE_REWRITER_H_
 #define MALIVA_CORE_REWRITER_H_
@@ -10,16 +15,9 @@
 
 #include "core/agent.h"
 #include "core/query_env.h"
+#include "qte/qte_params.h"
 
 namespace maliva {
-
-/// QTE cost parameters shared by one experiment.
-struct QteParams {
-  double unit_cost_ms = 40.0;
-  double model_eval_ms = 2.0;
-  double qte_sample_rate = 0.01;
-  uint64_t jitter_seed = 17;
-};
 
 /// Outcome of rewriting (and notionally executing) one query.
 struct RewriteOutcome {
@@ -45,21 +43,61 @@ struct RewriterEnv {
   QteContext MakeContext(const Query& query) const;
 };
 
+/// Abstract rewriting strategy: accepts a visualization query and returns the
+/// chosen rewritten query plus its time/quality accounting.
+///
+/// `Rewrite` serves under the budget the strategy was configured (and its
+/// agents trained) with; `RewriteWithBudget` overrides the budget for one
+/// request — used by MalivaService to honor per-request tau. Agents are not
+/// retrained for the override; the paper's Section 7.6 shows trained agents
+/// generalize across budgets.
+class Rewriter {
+ public:
+  virtual ~Rewriter() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// The time budget (virtual ms) the strategy was configured with.
+  virtual double default_tau_ms() const = 0;
+
+  /// Rewrites `query` under the configured default budget.
+  RewriteOutcome Rewrite(const Query& query) const {
+    return RewriteWithBudget(query, default_tau_ms());
+  }
+
+  /// Rewrites `query` under an explicit time budget `tau_ms`.
+  virtual RewriteOutcome RewriteWithBudget(const Query& query, double tau_ms) const = 0;
+
+  /// The rewrite option `outcome` decided on, or nullptr when the strategy
+  /// delegated planning entirely to the backend optimizer (no hints). Needed
+  /// because an outcome's option_index is relative to the strategy's own
+  /// option set (the two-stage rewriter uses two different sets).
+  virtual const RewriteOption* DecidedOption(const RewriteOutcome& outcome) const {
+    (void)outcome;
+    return nullptr;
+  }
+};
+
 /// Runs one greedy planning episode with `agent`; shared by the online
 /// rewriter and the trainer's convergence evaluation.
 RewriteOutcome RunGreedyEpisode(const RewriterEnv& renv, const QAgent& agent,
                                 const Query& query);
 
 /// Maliva's MDP-based online rewriter (Algorithm 2).
-class MalivaRewriter {
+class MalivaRewriter : public Rewriter {
  public:
   MalivaRewriter(RewriterEnv renv, const QAgent* agent, std::string name)
       : renv_(std::move(renv)), agent_(agent), name_(std::move(name)) {}
 
-  const std::string& name() const { return name_; }
+  const std::string& name() const override { return name_; }
+  double default_tau_ms() const override { return renv_.env_config.tau_ms; }
   const RewriterEnv& renv() const { return renv_; }
 
-  RewriteOutcome Rewrite(const Query& query) const;
+  RewriteOutcome RewriteWithBudget(const Query& query, double tau_ms) const override;
+
+  const RewriteOption* DecidedOption(const RewriteOutcome& outcome) const override {
+    return &(*renv_.options)[outcome.option_index];
+  }
 
  private:
   RewriterEnv renv_;
@@ -71,7 +109,7 @@ class MalivaRewriter {
 /// if it exhausts all exact RQs without finding a viable one and budget
 /// remains, hand over to the quality-aware agent on the approximate options,
 /// carrying over elapsed time and collected selectivities.
-class TwoStageRewriter {
+class TwoStageRewriter : public Rewriter {
  public:
   /// `exact` covers hint-only options, `approx` the hint x approximation
   /// combinations (exclusive of exact options).
@@ -83,9 +121,15 @@ class TwoStageRewriter {
         approx_agent_(approx_agent),
         name_(std::move(name)) {}
 
-  const std::string& name() const { return name_; }
+  const std::string& name() const override { return name_; }
+  double default_tau_ms() const override { return exact_.env_config.tau_ms; }
 
-  RewriteOutcome Rewrite(const Query& query) const;
+  RewriteOutcome RewriteWithBudget(const Query& query, double tau_ms) const override;
+
+  const RewriteOption* DecidedOption(const RewriteOutcome& outcome) const override {
+    const RewriterEnv& env = outcome.approximate ? approx_ : exact_;
+    return &(*env.options)[outcome.option_index];
+  }
 
  private:
   RewriterEnv exact_;

@@ -1,177 +1,55 @@
 #include "harness/setup.h"
 
-#include <cassert>
-#include <limits>
+#include <cstdio>
+#include <cstdlib>
 
 namespace maliva {
 
+namespace {
+
+ServiceConfig ToServiceConfig(const ExperimentSetup::Options& options) {
+  ServiceConfig config;
+  config.trainer = options.trainer;
+  config.num_agent_seeds = options.num_agent_seeds;
+  config.bao_per_plan_cost_ms = options.bao_per_plan_cost_ms;
+  config.beta = options.beta;
+  return config;
+}
+
+}  // namespace
+
+Approach ApproachFor(MalivaService& service, const std::string& strategy) {
+  Result<const Rewriter*> built = service.GetRewriter(strategy);
+  if (!built.ok()) {
+    std::fprintf(stderr, "failed to build strategy \"%s\": %s\n", strategy.c_str(),
+                 built.status().ToString().c_str());
+    std::abort();
+  }
+  const Rewriter* rewriter = built.value();
+  return {rewriter->name(), [rewriter](const Query& q) { return rewriter->Rewrite(q); }};
+}
+
+std::vector<Approach> ApproachesFor(MalivaService& service,
+                                    std::initializer_list<const char*> strategies) {
+  std::vector<Approach> approaches;
+  approaches.reserve(strategies.size());
+  for (const char* strategy : strategies) {
+    approaches.push_back(ApproachFor(service, strategy));
+  }
+  return approaches;
+}
+
 ExperimentSetup::ExperimentSetup(Scenario* scenario, Options options)
-    : scenario_(scenario), options_(options) {
-  accurate_qte_ = std::make_unique<AccurateQte>();
-  sampling_qte_ = std::make_unique<SamplingQte>();
-  quality_oracle_ = std::make_unique<QualityOracle>(scenario_->engine.get());
-}
-
-ExperimentSetup::~ExperimentSetup() = default;
-
-RewriterEnv ExperimentSetup::MakeEnv(QueryTimeEstimator* qte, double beta,
-                                     const RewriteOptionSet* options) const {
-  RewriterEnv renv;
-  renv.engine = scenario_->engine.get();
-  renv.oracle = scenario_->oracle.get();
-  renv.options = options != nullptr ? options : &scenario_->options;
-  renv.qte = qte;
-  renv.qte_params.unit_cost_ms = scenario_->config.unit_cost_ms;
-  renv.qte_params.qte_sample_rate = scenario_->config.qte_sample_rate;
-  renv.qte_params.jitter_seed = scenario_->config.seed ^ 0x6a697474;
-  renv.env_config.tau_ms = scenario_->config.tau_ms;
-  renv.env_config.beta = beta;
-  if (beta < 1.0) renv.env_config.quality = quality_oracle_.get();
-  return renv;
-}
-
-std::unique_ptr<QAgent> ExperimentSetup::TrainBest(const RewriterEnv& renv) {
-  std::unique_ptr<QAgent> best;
-  double best_vqp = -1.0;
-  const std::vector<const Query*>& validation = scenario_->validation;
-
-  for (size_t seed = 0; seed < options_.num_agent_seeds; ++seed) {
-    TrainerConfig tc = options_.trainer;
-    tc.seed = options_.trainer.seed + seed * 7919;
-    Trainer trainer(renv, tc);
-    std::unique_ptr<QAgent> agent = trainer.Train(scenario_->train);
-
-    // Hold-out validation: keep the best agent by validation VQP.
-    size_t viable = 0;
-    for (const Query* q : validation) {
-      RewriteOutcome out = RunGreedyEpisode(renv, *agent, *q);
-      viable += out.viable ? 1 : 0;
-    }
-    double vqp = validation.empty()
-                     ? 0.0
-                     : static_cast<double>(viable) / static_cast<double>(validation.size());
-    if (vqp > best_vqp) {
-      best_vqp = vqp;
-      best = std::move(agent);
-    }
-  }
-  assert(best != nullptr);
-  return best;
-}
-
-Approach ExperimentSetup::Baseline() {
-  if (baseline_ == nullptr) {
-    baseline_ = std::make_unique<BaselineRewriter>(
-        scenario_->engine.get(), scenario_->oracle.get(), scenario_->config.tau_ms);
-  }
-  BaselineRewriter* r = baseline_.get();
-  return {"Baseline", [r](const Query& q) { return r->Rewrite(q); }};
-}
-
-Approach ExperimentSetup::MdpAccurate() {
-  if (mdp_accurate_ == nullptr) {
-    RewriterEnv renv = MakeEnv(accurate_qte_.get());
-    mdp_accurate_agent_ = TrainBest(renv);
-    mdp_accurate_ = std::make_unique<MalivaRewriter>(renv, mdp_accurate_agent_.get(),
-                                                     "MDP (Accurate-QTE)");
-  }
-  MalivaRewriter* r = mdp_accurate_.get();
-  return {r->name(), [r](const Query& q) { return r->Rewrite(q); }};
-}
-
-Approach ExperimentSetup::MdpApproximate() {
-  if (mdp_approx_ == nullptr) {
-    RewriterEnv renv = MakeEnv(sampling_qte_.get());
-    mdp_approx_agent_ = TrainBest(renv);
-    mdp_approx_ = std::make_unique<MalivaRewriter>(renv, mdp_approx_agent_.get(),
-                                                   "MDP (Approx-QTE)");
-  }
-  MalivaRewriter* r = mdp_approx_.get();
-  return {r->name(), [r](const Query& q) { return r->Rewrite(q); }};
-}
-
-Approach ExperimentSetup::Bao() {
-  if (bao_ == nullptr) {
-    BaoTrainer trainer(scenario_->engine.get(), scenario_->oracle.get(),
-                       &scenario_->options);
-    bao_qte_ = trainer.Train(scenario_->train, scenario_->config.seed ^ 0x62616f);
-    bao_ = std::make_unique<BaoRewriter>(
-        scenario_->engine.get(), scenario_->oracle.get(), &scenario_->options,
-        bao_qte_.get(), scenario_->config.tau_ms, options_.bao_per_plan_cost_ms);
-  }
-  BaoRewriter* r = bao_.get();
-  return {"Bao", [r](const Query& q) { return r->Rewrite(q); }};
-}
-
-Approach ExperimentSetup::NaiveApproximate() {
-  if (naive_ == nullptr) {
-    naive_ = std::make_unique<NaiveRewriter>(MakeEnv(sampling_qte_.get()),
-                                             "Naive (Approx-QTE)");
-  }
-  NaiveRewriter* r = naive_.get();
-  return {r->name(), [r](const Query& q) { return r->Rewrite(q); }};
-}
+    : service_(scenario, ToServiceConfig(options)) {}
 
 Approach ExperimentSetup::OneStageQualityAware(const std::vector<ApproxRule>& rules) {
-  if (one_stage_ == nullptr) {
-    one_stage_options_ = std::make_unique<RewriteOptionSet>(
-        CrossWithApproxRules(scenario_->options, rules, /*include_exact=*/true));
-    RewriterEnv renv =
-        MakeEnv(accurate_qte_.get(), options_.beta, one_stage_options_.get());
-    one_stage_agent_ = TrainBest(renv);
-    one_stage_ = std::make_unique<MalivaRewriter>(renv, one_stage_agent_.get(),
-                                                  "1-stage MDP (Accu-QTE)");
-  }
-  MalivaRewriter* r = one_stage_.get();
-  return {r->name(), [r](const Query& q) { return r->Rewrite(q); }};
+  service_.SetApproxRules(rules);
+  return ApproachNamed("quality/one-stage");
 }
 
 Approach ExperimentSetup::TwoStageQualityAware(const std::vector<ApproxRule>& rules) {
-  if (two_stage_ == nullptr) {
-    // Stage 1: exact options with the efficiency-only reward. Reuse the
-    // already-trained exact agent when available.
-    RewriterEnv exact_env = MakeEnv(accurate_qte_.get());
-    const QAgent* exact_agent = mdp_accurate_agent_.get();
-    if (exact_agent == nullptr) {
-      two_stage_exact_agent_ = TrainBest(exact_env);
-      exact_agent = two_stage_exact_agent_.get();
-    }
-    // Stage 2: approximate combinations with the quality-aware reward.
-    approx_only_options_ = std::make_unique<RewriteOptionSet>(
-        CrossWithApproxRules(scenario_->options, rules, /*include_exact=*/false));
-    RewriterEnv approx_env =
-        MakeEnv(accurate_qte_.get(), options_.beta, approx_only_options_.get());
-    two_stage_approx_agent_ = TrainBest(approx_env);
-    two_stage_ = std::make_unique<TwoStageRewriter>(
-        exact_env, exact_agent, approx_env, two_stage_approx_agent_.get(),
-        "2-stage MDP (Accu-QTE)");
-  }
-  TwoStageRewriter* r = two_stage_.get();
-  return {r->name(), [r](const Query& q) { return r->Rewrite(q); }};
-}
-
-std::unique_ptr<QAgent> ExperimentSetup::TrainAgentOn(
-    const std::vector<const Query*>& workload, uint64_t seed,
-    std::vector<Trainer::IterationStats>* history) {
-  RewriterEnv renv = MakeEnv(accurate_qte_.get());
-  TrainerConfig tc = options_.trainer;
-  tc.seed = seed;
-  Trainer trainer(renv, tc);
-  std::unique_ptr<QAgent> agent = trainer.Train(workload);
-  if (history != nullptr) *history = trainer.history();
-  return agent;
-}
-
-double ExperimentSetup::EvaluateAgentVqp(
-    const QAgent& agent, const std::vector<const Query*>& workload) const {
-  if (workload.empty()) return 0.0;
-  RewriterEnv renv = MakeEnv(accurate_qte_.get());
-  size_t viable = 0;
-  for (const Query* q : workload) {
-    RewriteOutcome out = RunGreedyEpisode(renv, agent, *q);
-    viable += out.viable ? 1 : 0;
-  }
-  return 100.0 * static_cast<double>(viable) / static_cast<double>(workload.size());
+  service_.SetApproxRules(rules);
+  return ApproachNamed("quality/two-stage");
 }
 
 }  // namespace maliva

@@ -1,26 +1,34 @@
-// Approach factory: owns QTEs, trains agents, and wires rewriters into
-// Approach closures for the experiment runner.
+// Experiment-harness adapter over MalivaService.
+//
+// The experiment runner consumes `Approach` closures; this header wraps
+// service-built strategies into them. All wiring (QTEs, agents, option sets)
+// lives in src/service/ — nothing here constructs rewriters directly.
 
 #ifndef MALIVA_HARNESS_SETUP_H_
 #define MALIVA_HARNESS_SETUP_H_
 
+#include <initializer_list>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "baselines/bao.h"
-#include "baselines/baseline.h"
-#include "core/trainer.h"
 #include "harness/experiment.h"
-#include "qte/accurate_qte.h"
-#include "qte/sampling_qte.h"
-#include "quality/quality.h"
+#include "service/service.h"
 #include "workload/scenario.h"
 
 namespace maliva {
 
-/// Builds and owns everything needed to evaluate the paper's approaches on
-/// one scenario. Keep alive while the returned Approach closures are used.
+/// Wraps a service strategy into an Approach (display name + closure). The
+/// service must outlive the returned closure. Aborts with a readable message
+/// when the strategy cannot be built — experiments want loud failures.
+Approach ApproachFor(MalivaService& service, const std::string& strategy);
+
+/// Builds several strategies at once, in order.
+std::vector<Approach> ApproachesFor(MalivaService& service,
+                                    std::initializer_list<const char*> strategies);
+
+/// Thin compatibility facade retaining the historical approach-factory
+/// surface. New code should drive MalivaService directly.
 class ExperimentSetup {
  public:
   struct Options {
@@ -34,18 +42,20 @@ class ExperimentSetup {
   };
 
   ExperimentSetup(Scenario* scenario, Options options);
-  ~ExperimentSetup();
 
-  /// No-rewriting baseline (backend optimizer).
-  Approach Baseline();
-  /// MDP agent with the accurate QTE. Trains on first call.
-  Approach MdpAccurate();
-  /// MDP agent with the sampling (approximate) QTE. Trains on first call.
-  Approach MdpApproximate();
-  /// Bao comparator. Trains its plan-feature QTE on first call.
-  Approach Bao();
-  /// Brute-force enumeration with the sampling QTE.
-  Approach NaiveApproximate();
+  MalivaService& service() { return service_; }
+  Scenario* scenario() { return service_.scenario(); }
+
+  /// Builds the named strategy through the service (training on first use).
+  Approach ApproachNamed(const std::string& strategy) {
+    return ApproachFor(service_, strategy);
+  }
+
+  Approach Baseline() { return ApproachNamed("baseline"); }
+  Approach MdpAccurate() { return ApproachNamed("mdp/accurate"); }
+  Approach MdpApproximate() { return ApproachNamed("mdp/sampling"); }
+  Approach Bao() { return ApproachNamed("bao"); }
+  Approach NaiveApproximate() { return ApproachNamed("naive"); }
 
   /// Quality-aware approaches over hint x approximation-rule options.
   /// `rules` must contain approximate rules only.
@@ -56,45 +66,23 @@ class ExperimentSetup {
   /// per-iteration stats — used by the learning-curve experiment (Fig 21).
   std::unique_ptr<QAgent> TrainAgentOn(const std::vector<const Query*>& workload,
                                        uint64_t seed,
-                                       std::vector<Trainer::IterationStats>* history);
+                                       std::vector<Trainer::IterationStats>* history) {
+    return service_.TrainAgentOn(workload, seed, history);
+  }
 
   /// Evaluates a trained agent's VQP over a workload (accurate QTE env).
   double EvaluateAgentVqp(const QAgent& agent,
-                          const std::vector<const Query*>& workload) const;
+                          const std::vector<const Query*>& workload) const {
+    return service_.EvaluateAgentVqp(agent, workload);
+  }
 
-  Scenario* scenario() { return scenario_; }
   RewriterEnv MakeEnv(QueryTimeEstimator* qte, double beta = 1.0,
-                      const RewriteOptionSet* options = nullptr) const;
+                      const RewriteOptionSet* options = nullptr) const {
+    return service_.MakeEnv(qte, beta, options);
+  }
 
  private:
-  /// Trains `num_agent_seeds` agents, keeps the best by validation VQP.
-  std::unique_ptr<QAgent> TrainBest(const RewriterEnv& renv);
-
-  Scenario* scenario_;
-  Options options_;
-
-  std::unique_ptr<AccurateQte> accurate_qte_;
-  std::unique_ptr<SamplingQte> sampling_qte_;
-  std::unique_ptr<QualityOracle> quality_oracle_;
-
-  std::unique_ptr<QAgent> mdp_accurate_agent_;
-  std::unique_ptr<MalivaRewriter> mdp_accurate_;
-  std::unique_ptr<QAgent> mdp_approx_agent_;
-  std::unique_ptr<MalivaRewriter> mdp_approx_;
-
-  std::unique_ptr<BaoQte> bao_qte_;
-  std::unique_ptr<BaoRewriter> bao_;
-  std::unique_ptr<BaselineRewriter> baseline_;
-  std::unique_ptr<NaiveRewriter> naive_;
-
-  // Quality-aware machinery (option sets must outlive rewriters).
-  std::unique_ptr<RewriteOptionSet> one_stage_options_;
-  std::unique_ptr<QAgent> one_stage_agent_;
-  std::unique_ptr<MalivaRewriter> one_stage_;
-  std::unique_ptr<RewriteOptionSet> approx_only_options_;
-  std::unique_ptr<QAgent> two_stage_exact_agent_;
-  std::unique_ptr<QAgent> two_stage_approx_agent_;
-  std::unique_ptr<TwoStageRewriter> two_stage_;
+  MalivaService service_;
 };
 
 }  // namespace maliva

@@ -52,14 +52,14 @@ std::vector<size_t> QteContext::NeededSlots(size_t ro_index) const {
 double QteContext::ActualSlotCostMs(size_t slot) const {
   // Deterministic +-25% jitter around the unit cost: the state's C_i values
   // are rough estimates, the transition charges the actual cost (Fig 7).
-  uint64_t h = MixSlotSeed(jitter_seed, query->id, slot);
+  uint64_t h = MixSlotSeed(params.jitter_seed, query->id, slot);
   double unit = static_cast<double>((h >> 11) % 1000) / 1000.0;  // [0, 1)
-  return unit_cost_ms * (0.75 + 0.5 * unit);
+  return params.unit_cost_ms * (0.75 + 0.5 * unit);
 }
 
 double QueryTimeEstimator::CollectCostMs(const QteContext& ctx, size_t ro_index,
                                          const SelectivityCache& cache) const {
-  double cost = ctx.model_eval_ms;
+  double cost = ctx.params.model_eval_ms;
   for (size_t slot : ctx.NeededSlots(ro_index)) {
     if (!cache.Has(slot)) cost += CostFactor() * ctx.ActualSlotCostMs(slot);
   }
@@ -68,9 +68,9 @@ double QueryTimeEstimator::CollectCostMs(const QteContext& ctx, size_t ro_index,
 
 double QueryTimeEstimator::PredictCostMs(const QteContext& ctx, size_t ro_index,
                                          const SelectivityCache& cache) const {
-  double cost = ctx.model_eval_ms;
+  double cost = ctx.params.model_eval_ms;
   for (size_t slot : ctx.NeededSlots(ro_index)) {
-    if (!cache.Has(slot)) cost += CostFactor() * ctx.unit_cost_ms;
+    if (!cache.Has(slot)) cost += CostFactor() * ctx.params.unit_cost_ms;
   }
   return cost;
 }

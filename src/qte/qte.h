@@ -8,6 +8,7 @@
 
 #include "engine/engine.h"
 #include "qte/plan_time_oracle.h"
+#include "qte/qte_params.h"
 #include "qte/selectivity_cache.h"
 #include "query/hints.h"
 #include "query/query.h"
@@ -23,16 +24,8 @@ struct QteContext {
   const Engine* engine = nullptr;
   const PlanTimeOracle* oracle = nullptr;
 
-  /// Virtual ms to collect one selectivity value (paper default: 40ms for the
-  /// accurate QTE; per-workload values in Section 7.8).
-  double unit_cost_ms = 40.0;
-  /// Virtual ms to run the estimation model once selectivities are available.
-  double model_eval_ms = 2.0;
-  /// Sampling rate of the QTE sample table (must be pre-built on the engine).
-  double qte_sample_rate = 0.01;
-  /// Seed for the deterministic jitter between estimated and actual
-  /// collection costs (the paper's "estimated 25ms, actual 30ms").
-  uint64_t jitter_seed = 17;
+  /// Cost parameters of selectivity collection (see qte/qte_params.h).
+  QteParams params;
 
   /// Number of selectivity slots: base predicates + join right predicates.
   size_t NumSlots() const;

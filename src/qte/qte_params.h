@@ -1,0 +1,31 @@
+// QTE cost parameters (single source of truth).
+//
+// These knobs price selectivity collection and model evaluation in virtual
+// milliseconds (see DESIGN.md "QTE cost accounting"). The defaults reproduce
+// the paper's main setting; per-experiment overrides flow ScenarioConfig ->
+// ServiceConfig -> QteContext without re-specifying any default.
+
+#ifndef MALIVA_QTE_QTE_PARAMS_H_
+#define MALIVA_QTE_QTE_PARAMS_H_
+
+#include <cstdint>
+
+namespace maliva {
+
+/// QTE cost parameters shared by one experiment / service instance.
+struct QteParams {
+  /// Virtual ms to collect one selectivity value (paper default: 40ms for the
+  /// accurate QTE; per-workload values in Section 7.8).
+  double unit_cost_ms = 40.0;
+  /// Virtual ms to run the estimation model once selectivities are available.
+  double model_eval_ms = 2.0;
+  /// Sampling rate of the QTE sample table (must be pre-built on the engine).
+  double qte_sample_rate = 0.01;
+  /// Seed for the deterministic jitter between estimated and actual
+  /// collection costs (the paper's "estimated 25ms, actual 30ms").
+  uint64_t jitter_seed = 17;
+};
+
+}  // namespace maliva
+
+#endif  // MALIVA_QTE_QTE_PARAMS_H_

@@ -22,7 +22,7 @@ QteEstimate SamplingQte::Estimate(const QteContext& ctx, size_t ro_index,
     const Predicate& pred = slot < m ? query.predicates[slot]
                                      : query.join->right_predicates[slot - m];
     const std::string& table = slot < m ? query.table : query.join->right_table;
-    Result<double> sel = ctx.engine->SampledSelectivity(table, pred, ctx.qte_sample_rate);
+    Result<double> sel = ctx.engine->SampledSelectivity(table, pred, ctx.params.qte_sample_rate);
     // Fall back to optimizer statistics when no sample table was built for
     // the target (e.g. dimension tables).
     if (!sel.ok()) {

@@ -1,0 +1,50 @@
+#include "service/rewriter_factory.h"
+
+#include <utility>
+
+namespace maliva {
+
+RewriterFactory& RewriterFactory::Global() {
+  // Leaked singleton: builders may be registered from static initializers and
+  // used until process exit.
+  static RewriterFactory* factory = [] {
+    auto* f = new RewriterFactory();
+    RegisterBuiltinStrategies(*f);
+    return f;
+  }();
+  return *factory;
+}
+
+Status RewriterFactory::Register(std::string name, Builder builder) {
+  if (name.empty()) return Status::InvalidArgument("strategy name must not be empty");
+  if (builder == nullptr) {
+    return Status::InvalidArgument("strategy builder must not be null");
+  }
+  auto [it, inserted] = builders_.emplace(std::move(name), std::move(builder));
+  if (!inserted) {
+    return Status::InvalidArgument("strategy already registered: " + it->first);
+  }
+  return Status::OK();
+}
+
+bool RewriterFactory::Has(const std::string& name) const {
+  return builders_.count(name) != 0;
+}
+
+Result<std::unique_ptr<Rewriter>> RewriterFactory::Create(
+    const std::string& name, MalivaService& service) const {
+  auto it = builders_.find(name);
+  if (it == builders_.end()) {
+    return Status::NotFound("unknown rewriting strategy: \"" + name + "\"");
+  }
+  return it->second(service);
+}
+
+std::vector<std::string> RewriterFactory::Names() const {
+  std::vector<std::string> names;
+  names.reserve(builders_.size());
+  for (const auto& [name, builder] : builders_) names.push_back(name);
+  return names;  // std::map keeps them sorted
+}
+
+}  // namespace maliva

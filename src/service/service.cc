@@ -1,0 +1,338 @@
+#include "service/service.h"
+
+#include <cassert>
+#include <utility>
+
+#include "baselines/bao.h"
+#include "baselines/baseline.h"
+#include "qte/accurate_qte.h"
+#include "qte/sampling_qte.h"
+#include "quality/quality.h"
+#include "query/rewritten_query.h"
+
+namespace maliva {
+
+MalivaService::MalivaService(Scenario* scenario, ServiceConfig config)
+    : scenario_(scenario), config_(std::move(config)) {
+  assert(scenario_ != nullptr && "MalivaService requires a built scenario");
+  if (config_.qte.has_value()) {
+    qte_params_ = *config_.qte;  // explicit override wins, jitter seed included
+  } else {
+    qte_params_ = scenario_->config.qte;
+    // The jitter stream is tied to the scenario seed so rebuilding the
+    // service over the same scenario reproduces every estimation cost.
+    qte_params_.jitter_seed = scenario_->config.seed ^ 0x6a697474;
+  }
+  accurate_qte_ = std::make_unique<AccurateQte>();
+  sampling_qte_ = std::make_unique<SamplingQte>();
+  quality_oracle_ = std::make_unique<QualityOracle>(scenario_->engine.get());
+}
+
+MalivaService::~MalivaService() = default;
+
+RewriterEnv MalivaService::MakeEnv(QueryTimeEstimator* qte, double beta,
+                                   const RewriteOptionSet* options) const {
+  RewriterEnv renv;
+  renv.engine = scenario_->engine.get();
+  renv.oracle = scenario_->oracle.get();
+  renv.options = options != nullptr ? options : &scenario_->options;
+  renv.qte = qte;
+  renv.qte_params = qte_params_;
+  renv.env_config.tau_ms = scenario_->config.tau_ms;
+  renv.env_config.beta = beta;
+  if (beta < 1.0) renv.env_config.quality = quality_oracle_.get();
+  return renv;
+}
+
+Result<const QAgent*> MalivaService::TrainedAgent(const std::string& cache_key,
+                                                  const RewriterEnv& renv) {
+  auto it = agents_.find(cache_key);
+  if (it != agents_.end()) return static_cast<const QAgent*>(it->second.get());
+
+  if (config_.num_agent_seeds == 0) {
+    return Status::FailedPrecondition(
+        "cannot train agent \"" + cache_key + "\": num_agent_seeds is 0");
+  }
+  if (scenario_->train.empty()) {
+    return Status::FailedPrecondition(
+        "cannot train agent \"" + cache_key + "\": scenario has no training split");
+  }
+
+  std::unique_ptr<QAgent> best;
+  double best_vqp = -1.0;
+  const std::vector<const Query*>& validation = scenario_->validation;
+  for (size_t seed = 0; seed < config_.num_agent_seeds; ++seed) {
+    TrainerConfig tc = config_.trainer;
+    tc.seed = config_.trainer.seed + seed * 7919;
+    Trainer trainer(renv, tc);
+    std::unique_ptr<QAgent> agent = trainer.Train(scenario_->train);
+
+    // Hold-out validation: keep the best agent by validation VQP.
+    size_t viable = 0;
+    for (const Query* q : validation) {
+      RewriteOutcome out = RunGreedyEpisode(renv, *agent, *q);
+      viable += out.viable ? 1 : 0;
+    }
+    double vqp = validation.empty()
+                     ? 0.0
+                     : static_cast<double>(viable) / static_cast<double>(validation.size());
+    if (vqp > best_vqp) {
+      best_vqp = vqp;
+      best = std::move(agent);
+    }
+  }
+  assert(best != nullptr);
+  const QAgent* ptr = best.get();
+  agents_[cache_key] = std::move(best);
+  return ptr;
+}
+
+Result<const BaoQte*> MalivaService::TrainedBaoQte() {
+  if (bao_qte_ == nullptr) {
+    if (scenario_->train.empty()) {
+      return Status::FailedPrecondition(
+          "cannot train Bao's QTE: scenario has no training split");
+    }
+    BaoTrainer trainer(scenario_->engine.get(), scenario_->oracle.get(),
+                       &scenario_->options);
+    bao_qte_ = trainer.Train(scenario_->train, scenario_->config.seed ^ 0x62616f);
+  }
+  return static_cast<const BaoQte*>(bao_qte_.get());
+}
+
+const RewriteOptionSet* MalivaService::InternOptionSet(RewriteOptionSet options) {
+  interned_options_.push_back(
+      std::make_unique<RewriteOptionSet>(std::move(options)));
+  return interned_options_.back().get();
+}
+
+Result<const Rewriter*> MalivaService::GetRewriter(const std::string& name) {
+  auto it = rewriters_.find(name);
+  if (it != rewriters_.end()) return static_cast<const Rewriter*>(it->second.get());
+
+  Result<std::unique_ptr<Rewriter>> built = RewriterFactory::Global().Create(name, *this);
+  if (!built.ok()) return built.status();
+  std::unique_ptr<Rewriter> rewriter = std::move(built).value();
+  const Rewriter* ptr = rewriter.get();
+  rewriters_[name] = std::move(rewriter);
+  return ptr;
+}
+
+std::vector<std::string> MalivaService::RegisteredStrategies() const {
+  return RewriterFactory::Global().Names();
+}
+
+Result<RewriteResponse> MalivaService::Serve(const RewriteRequest& request) {
+  if (request.query == nullptr) {
+    return Status::InvalidArgument("RewriteRequest.query must not be null");
+  }
+  if (request.tau_ms.has_value() && !(*request.tau_ms > 0.0)) {
+    return Status::InvalidArgument("per-request tau_ms must be positive");
+  }
+  if (request.quality_floor.has_value() &&
+      (*request.quality_floor < 0.0 || *request.quality_floor > 1.0)) {
+    return Status::InvalidArgument("quality_floor must be within [0, 1]");
+  }
+
+  const std::string& name =
+      request.strategy.empty() ? config_.default_strategy : request.strategy;
+  Result<const Rewriter*> rewriter = GetRewriter(name);
+  if (!rewriter.ok()) return rewriter.status();
+  const Rewriter& strategy = *rewriter.value();
+
+  RewriteResponse resp;
+  resp.strategy = name;
+  resp.outcome = request.tau_ms.has_value()
+                     ? strategy.RewriteWithBudget(*request.query, *request.tau_ms)
+                     : strategy.Rewrite(*request.query);
+  resp.option = strategy.DecidedOption(resp.outcome);
+
+  if (request.quality_floor.has_value() &&
+      resp.outcome.quality < *request.quality_floor) {
+    // The strategy's pick is below the floor: guarantee quality 1 by serving
+    // the original query unhinted (possibly sacrificing viability). The first
+    // attempt's planning time was really spent, so it stays on the bill —
+    // same accounting the two-stage rewriter uses for its stage hand-off.
+    Result<const Rewriter*> exact = GetRewriter("baseline");
+    if (!exact.ok()) return exact.status();
+    double tau = request.tau_ms.value_or(strategy.default_tau_ms());
+    double spent_planning_ms = resp.outcome.planning_ms;
+    size_t spent_steps = resp.outcome.steps;
+    resp.strategy = "baseline";
+    resp.outcome = exact.value()->RewriteWithBudget(*request.query, tau);
+    resp.outcome.planning_ms += spent_planning_ms;
+    resp.outcome.total_ms += spent_planning_ms;
+    resp.outcome.steps += spent_steps;
+    resp.outcome.viable = resp.outcome.total_ms <= tau;
+    resp.option = exact.value()->DecidedOption(resp.outcome);
+    resp.exact_fallback = true;
+  }
+
+  resp.rewritten_sql =
+      resp.option != nullptr
+          ? RewrittenQuery{request.query, *resp.option}.ToString()
+          : request.query->ToString();
+  return resp;
+}
+
+std::vector<Result<RewriteResponse>> MalivaService::ServeBatch(
+    std::span<const RewriteRequest> requests) {
+  // Each strategy is built (and its agents trained) once, at its first valid
+  // request, and cached for the rest of the batch and the service's lifetime.
+  std::vector<Result<RewriteResponse>> responses;
+  responses.reserve(requests.size());
+  for (const RewriteRequest& request : requests) {
+    responses.push_back(Serve(request));
+  }
+  return responses;
+}
+
+std::unique_ptr<QAgent> MalivaService::TrainAgentOn(
+    const std::vector<const Query*>& workload, uint64_t seed,
+    std::vector<Trainer::IterationStats>* history) {
+  RewriterEnv renv = MakeEnv(accurate_qte_.get());
+  TrainerConfig tc = config_.trainer;
+  tc.seed = seed;
+  Trainer trainer(renv, tc);
+  std::unique_ptr<QAgent> agent = trainer.Train(workload);
+  if (history != nullptr) *history = trainer.history();
+  return agent;
+}
+
+double MalivaService::EvaluateAgentVqp(
+    const QAgent& agent, const std::vector<const Query*>& workload) const {
+  if (workload.empty()) return 0.0;
+  RewriterEnv renv = MakeEnv(accurate_qte_.get());
+  size_t viable = 0;
+  for (const Query* q : workload) {
+    RewriteOutcome out = RunGreedyEpisode(renv, agent, *q);
+    viable += out.viable ? 1 : 0;
+  }
+  return 100.0 * static_cast<double>(viable) / static_cast<double>(workload.size());
+}
+
+// ---------------------------------------------------------------------------
+// Built-in strategies.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Cheap pre-check mirroring TrainedAgent's failure conditions, so builders
+/// can bail out before interning option sets (failed builds are not cached;
+/// a retrying caller must not grow interned_options_ on every attempt).
+Status CanTrainAgents(MalivaService& s) {
+  if (s.config().num_agent_seeds == 0) {
+    return Status::FailedPrecondition("cannot train agents: num_agent_seeds is 0");
+  }
+  if (s.scenario()->train.empty()) {
+    return Status::FailedPrecondition(
+        "cannot train agents: scenario has no training split");
+  }
+  return Status::OK();
+}
+
+Status ValidateApproxRules(const std::vector<ApproxRule>& rules) {
+  if (rules.empty()) {
+    return Status::FailedPrecondition(
+        "quality-aware strategies need ServiceConfig.approx_rules");
+  }
+  for (const ApproxRule& rule : rules) {
+    if (!rule.IsApproximate()) {
+      return Status::InvalidArgument(
+          "approx_rules must contain approximate rules only");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Rewriter>> BuildBaseline(MalivaService& s) {
+  return std::unique_ptr<Rewriter>(std::make_unique<BaselineRewriter>(
+      s.scenario()->engine.get(), s.scenario()->oracle.get(),
+      s.scenario()->config.tau_ms));
+}
+
+Result<std::unique_ptr<Rewriter>> BuildNaive(MalivaService& s) {
+  return std::unique_ptr<Rewriter>(std::make_unique<NaiveRewriter>(
+      s.MakeEnv(s.sampling_qte()), "Naive (Approx-QTE)"));
+}
+
+Result<std::unique_ptr<Rewriter>> BuildMdpAccurate(MalivaService& s) {
+  RewriterEnv renv = s.MakeEnv(s.accurate_qte());
+  Result<const QAgent*> agent = s.TrainedAgent("agent/exact-accurate", renv);
+  if (!agent.ok()) return agent.status();
+  return std::unique_ptr<Rewriter>(std::make_unique<MalivaRewriter>(
+      renv, agent.value(), "MDP (Accurate-QTE)"));
+}
+
+Result<std::unique_ptr<Rewriter>> BuildMdpSampling(MalivaService& s) {
+  RewriterEnv renv = s.MakeEnv(s.sampling_qte());
+  Result<const QAgent*> agent = s.TrainedAgent("agent/exact-sampling", renv);
+  if (!agent.ok()) return agent.status();
+  return std::unique_ptr<Rewriter>(std::make_unique<MalivaRewriter>(
+      renv, agent.value(), "MDP (Approx-QTE)"));
+}
+
+Result<std::unique_ptr<Rewriter>> BuildBao(MalivaService& s) {
+  Result<const BaoQte*> qte = s.TrainedBaoQte();
+  if (!qte.ok()) return qte.status();
+  return std::unique_ptr<Rewriter>(std::make_unique<BaoRewriter>(
+      s.scenario()->engine.get(), s.scenario()->oracle.get(),
+      &s.scenario()->options, qte.value(), s.scenario()->config.tau_ms,
+      s.config().bao_per_plan_cost_ms));
+}
+
+Result<std::unique_ptr<Rewriter>> BuildOneStageQuality(MalivaService& s) {
+  const std::vector<ApproxRule>& rules = s.config().approx_rules;
+  MALIVA_RETURN_NOT_OK(ValidateApproxRules(rules));
+  MALIVA_RETURN_NOT_OK(CanTrainAgents(s));
+  const RewriteOptionSet* options = s.InternOptionSet(
+      CrossWithApproxRules(s.scenario()->options, rules, /*include_exact=*/true));
+  RewriterEnv renv = s.MakeEnv(s.accurate_qte(), s.config().beta, options);
+  Result<const QAgent*> agent = s.TrainedAgent("agent/quality-one-stage", renv);
+  if (!agent.ok()) return agent.status();
+  return std::unique_ptr<Rewriter>(std::make_unique<MalivaRewriter>(
+      renv, agent.value(), "1-stage MDP (Accu-QTE)"));
+}
+
+Result<std::unique_ptr<Rewriter>> BuildTwoStageQuality(MalivaService& s) {
+  const std::vector<ApproxRule>& rules = s.config().approx_rules;
+  MALIVA_RETURN_NOT_OK(ValidateApproxRules(rules));
+  MALIVA_RETURN_NOT_OK(CanTrainAgents(s));
+
+  // Stage 1: exact options with the efficiency-only reward; the agent is
+  // shared with "mdp/accurate".
+  RewriterEnv exact_env = s.MakeEnv(s.accurate_qte());
+  Result<const QAgent*> exact_agent = s.TrainedAgent("agent/exact-accurate", exact_env);
+  if (!exact_agent.ok()) return exact_agent.status();
+
+  // Stage 2: approximate combinations with the quality-aware reward.
+  const RewriteOptionSet* approx_options = s.InternOptionSet(
+      CrossWithApproxRules(s.scenario()->options, rules, /*include_exact=*/false));
+  RewriterEnv approx_env = s.MakeEnv(s.accurate_qte(), s.config().beta, approx_options);
+  Result<const QAgent*> approx_agent =
+      s.TrainedAgent("agent/quality-two-stage", approx_env);
+  if (!approx_agent.ok()) return approx_agent.status();
+
+  return std::unique_ptr<Rewriter>(std::make_unique<TwoStageRewriter>(
+      exact_env, exact_agent.value(), approx_env, approx_agent.value(),
+      "2-stage MDP (Accu-QTE)"));
+}
+
+}  // namespace
+
+void RegisterBuiltinStrategies(RewriterFactory& factory) {
+  auto add = [&factory](const char* name, RewriterFactory::Builder builder) {
+    Status st = factory.Register(name, std::move(builder));
+    assert(st.ok());
+    (void)st;
+  };
+  add("baseline", BuildBaseline);
+  add("naive", BuildNaive);
+  add("mdp/accurate", BuildMdpAccurate);
+  add("mdp/sampling", BuildMdpSampling);
+  add("bao", BuildBao);
+  add("quality/one-stage", BuildOneStageQuality);
+  add("quality/two-stage", BuildTwoStageQuality);
+}
+
+}  // namespace maliva

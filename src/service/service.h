@@ -1,0 +1,221 @@
+// MalivaService: the middleware's serving facade (see DESIGN.md).
+//
+// The paper's system is one service: it accepts a visualization query and a
+// time budget tau and returns a rewritten query within the budget. This layer
+// owns everything behind that contract — engine wiring, QTEs, option sets,
+// and trained agents — and serves typed RewriteRequest -> RewriteResponse,
+// with strategies selected by name through RewriterFactory.
+//
+//   Scenario scenario = BuildScenario(cfg);
+//   MalivaService service(&scenario, ServiceConfig().WithAgentSeeds(1));
+//   RewriteRequest req;
+//   req.query = scenario.evaluation[0];
+//   req.strategy = "mdp/accurate";          // trained lazily on first use
+//   Result<RewriteResponse> resp = service.Serve(req);
+//
+// ServeBatch serves a request vector with results identical to sequential
+// Serve calls; strategies (and their trained agents) are cached after first
+// use, sized for high-throughput evaluation.
+
+#ifndef MALIVA_SERVICE_SERVICE_H_
+#define MALIVA_SERVICE_SERVICE_H_
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/trainer.h"
+#include "service/rewriter_factory.h"
+#include "util/status.h"
+#include "workload/scenario.h"
+
+namespace maliva {
+
+class AccurateQte;
+class SamplingQte;
+class QualityOracle;
+class BaoQte;
+
+/// Configuration of one MalivaService instance. Builder-style setters allow
+/// inline construction; every knob has a sensible default.
+struct ServiceConfig {
+  /// QTE cost parameters. Unset means "use the scenario's parameters"
+  /// (ScenarioConfig::qte); either way the resolved values are the single
+  /// source of truth for every env the service builds.
+  std::optional<QteParams> qte;
+  /// Deep Q-learning hyper-parameters used when a strategy trains agents.
+  TrainerConfig trainer;
+  /// Agents trained per strategy; the best on the validation workload is
+  /// kept (hold-out validation, Section 7.1).
+  size_t num_agent_seeds = 2;
+  /// Bao's per-plan inference cost (virtual ms).
+  double bao_per_plan_cost_ms = 10.0;
+  /// Reward weight of efficiency vs quality for quality-aware agents (Eq 2).
+  double beta = 0.5;
+  /// Approximation rules for the "quality/*" strategies. Must be approximate
+  /// rules only; empty means those strategies fail with FailedPrecondition.
+  std::vector<ApproxRule> approx_rules;
+  /// Strategy served when a request does not name one.
+  std::string default_strategy = "mdp/accurate";
+
+  ServiceConfig& WithQte(QteParams params) {
+    qte = params;
+    return *this;
+  }
+  ServiceConfig& WithTrainer(TrainerConfig config) {
+    trainer = config;
+    return *this;
+  }
+  ServiceConfig& WithTrainerIterations(size_t iterations) {
+    trainer.max_iterations = iterations;
+    return *this;
+  }
+  ServiceConfig& WithAgentSeeds(size_t seeds) {
+    num_agent_seeds = seeds;
+    return *this;
+  }
+  ServiceConfig& WithBeta(double value) {
+    beta = value;
+    return *this;
+  }
+  ServiceConfig& WithBaoPerPlanCostMs(double ms) {
+    bao_per_plan_cost_ms = ms;
+    return *this;
+  }
+  ServiceConfig& WithApproxRules(std::vector<ApproxRule> rules) {
+    approx_rules = std::move(rules);
+    return *this;
+  }
+  ServiceConfig& WithDefaultStrategy(std::string name) {
+    default_strategy = std::move(name);
+    return *this;
+  }
+};
+
+/// One rewriting request.
+struct RewriteRequest {
+  const Query* query = nullptr;
+  /// Strategy name (RewriterFactory key); empty = ServiceConfig default.
+  std::string strategy;
+  /// Per-request time budget; unset = the strategy's configured tau.
+  std::optional<double> tau_ms;
+  /// Minimum acceptable visualization quality F(r(Q), r(RQ)). When the
+  /// strategy's choice falls below the floor, the service re-serves the
+  /// request with the exact "baseline" strategy (quality 1) and flags it;
+  /// the first attempt's planning time stays on the outcome's bill.
+  std::optional<double> quality_floor;
+};
+
+/// One rewriting response.
+struct RewriteResponse {
+  /// Strategy that served the request (factory key, not display name); this
+  /// is "baseline" when a quality floor forced the exact fallback.
+  std::string strategy;
+  RewriteOutcome outcome;
+  /// The chosen rewrite option, owned by the service; nullptr when the plan
+  /// was delegated entirely to the backend optimizer.
+  const RewriteOption* option = nullptr;
+  /// SQL-ish rendering of the rewritten query (hints included).
+  std::string rewritten_sql;
+  /// True when quality_floor forced the exact-baseline fallback.
+  bool exact_fallback = false;
+};
+
+/// Owns the serving state for one scenario: QTEs, the quality oracle, interned
+/// option sets, trained agents, and lazily built strategies. `scenario` is
+/// borrowed and must outlive the service.
+class MalivaService {
+ public:
+  MalivaService(Scenario* scenario, ServiceConfig config);
+  ~MalivaService();
+
+  MalivaService(const MalivaService&) = delete;
+  MalivaService& operator=(const MalivaService&) = delete;
+
+  /// Serves one request. Errors (unknown strategy, invalid budget, missing
+  /// approximation rules, ...) come back as Status, never as a crash.
+  Result<RewriteResponse> Serve(const RewriteRequest& request);
+
+  /// Serves a batch. Strategies are built (and trained) once at their first
+  /// use and cached, so results are identical to sequential Serve calls.
+  std::vector<Result<RewriteResponse>> ServeBatch(
+      std::span<const RewriteRequest> requests);
+
+  /// Builds (training agents if needed) and caches strategy `name`.
+  Result<const Rewriter*> GetRewriter(const std::string& name);
+
+  /// Strategy names registered in the global factory. A given instance may
+  /// still fail to build some of them (e.g. "quality/*" without approx_rules
+  /// configured) — Serve reports that per request as a Status.
+  std::vector<std::string> RegisteredStrategies() const;
+
+  Scenario* scenario() { return scenario_; }
+  const ServiceConfig& config() const { return config_; }
+
+  /// Resolved QTE cost parameters (config override or scenario defaults,
+  /// jitter seed mixed from the scenario seed).
+  const QteParams& qte_params() const { return qte_params_; }
+
+  /// Replaces the approximation rules used by not-yet-built "quality/*"
+  /// strategies (already built strategies are unaffected).
+  void SetApproxRules(std::vector<ApproxRule> rules) {
+    config_.approx_rules = std::move(rules);
+  }
+
+  // --- hooks for strategy builders (RewriterFactory) and harnesses ---------
+
+  /// Env wiring for core-level components: engine, oracle, option set,
+  /// resolved QTE params, tau, and the quality oracle when beta < 1.
+  RewriterEnv MakeEnv(QueryTimeEstimator* qte, double beta = 1.0,
+                      const RewriteOptionSet* options = nullptr) const;
+
+  AccurateQte* accurate_qte() { return accurate_qte_.get(); }
+  SamplingQte* sampling_qte() { return sampling_qte_.get(); }
+  QualityOracle* quality_oracle() { return quality_oracle_.get(); }
+
+  /// Trains `num_agent_seeds` agents on the scenario's training split, keeps
+  /// the best by validation VQP, and caches it under `cache_key` (strategies
+  /// sharing a key share the agent — e.g. "mdp/accurate" and the two-stage
+  /// rewriter's exact stage).
+  Result<const QAgent*> TrainedAgent(const std::string& cache_key,
+                                     const RewriterEnv& renv);
+
+  /// Trains (and caches) Bao's plan-feature QTE on the training split.
+  Result<const BaoQte*> TrainedBaoQte();
+
+  /// Takes ownership of an option set and returns a stable pointer (option
+  /// sets must outlive the rewriters built over them).
+  const RewriteOptionSet* InternOptionSet(RewriteOptionSet options);
+
+  /// Trains an MDP agent (accurate QTE) on an explicit workload and returns
+  /// per-iteration stats — the learning-curve experiment (Fig 21).
+  std::unique_ptr<QAgent> TrainAgentOn(const std::vector<const Query*>& workload,
+                                       uint64_t seed,
+                                       std::vector<Trainer::IterationStats>* history);
+
+  /// Evaluates a trained agent's VQP over a workload (accurate QTE env).
+  double EvaluateAgentVqp(const QAgent& agent,
+                          const std::vector<const Query*>& workload) const;
+
+ private:
+  Scenario* scenario_;
+  ServiceConfig config_;
+  QteParams qte_params_;
+
+  std::unique_ptr<AccurateQte> accurate_qte_;
+  std::unique_ptr<SamplingQte> sampling_qte_;
+  std::unique_ptr<QualityOracle> quality_oracle_;
+  std::unique_ptr<BaoQte> bao_qte_;
+
+  std::unordered_map<std::string, std::unique_ptr<QAgent>> agents_;
+  std::vector<std::unique_ptr<RewriteOptionSet>> interned_options_;
+  std::unordered_map<std::string, std::unique_ptr<Rewriter>> rewriters_;
+};
+
+}  // namespace maliva
+
+#endif  // MALIVA_SERVICE_SERVICE_H_

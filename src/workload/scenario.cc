@@ -100,12 +100,12 @@ Scenario BuildScenario(const ScenarioConfig& config) {
 
   // Sample tables: the QTE sample plus any approximation-rule samples.
   std::vector<double> rates = config.approx_sample_rates;
-  rates.push_back(config.qte_sample_rate);
+  rates.push_back(config.qte.qte_sample_rate);
   Status st = s.engine->BuildSampleTables(base_table, rates, config.seed ^ 0x73616d70);
   assert(st.ok());
   (void)st;
   if (config.join) {
-    Status rst = s.engine->BuildSampleTables("users", {config.qte_sample_rate},
+    Status rst = s.engine->BuildSampleTables("users", {config.qte.qte_sample_rate},
                                              config.seed ^ 0x73616d71);
     assert(rst.ok());
     (void)rst;

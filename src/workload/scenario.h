@@ -14,6 +14,7 @@
 
 #include "engine/engine.h"
 #include "qte/plan_time_oracle.h"
+#include "qte/qte_params.h"
 #include "query/hints.h"
 #include "query/query.h"
 
@@ -35,8 +36,9 @@ struct ScenarioConfig {
   OutputKind output = OutputKind::kHeatmap;
 
   double tau_ms = 500.0;
-  double unit_cost_ms = 40.0;
-  double qte_sample_rate = 0.01;
+  /// QTE cost parameters (defaults live in qte/qte_params.h; `jitter_seed` is
+  /// derived from `seed` by the service layer, not read from here).
+  QteParams qte;
   std::vector<double> approx_sample_rates;  ///< sample tables for approx rules
 
   EngineProfile profile = EngineProfile::PostgresLike();

@@ -27,8 +27,8 @@ class QueryEnvTest : public ::testing::Test {
     ctx_.options = &options_;
     ctx_.engine = engine_.get();
     ctx_.oracle = oracle_.get();
-    ctx_.unit_cost_ms = 40.0;
-    ctx_.model_eval_ms = 2.0;
+    ctx_.params.unit_cost_ms = 40.0;
+    ctx_.params.model_eval_ms = 2.0;
     config_.tau_ms = 500.0;
     config_.agent_decision_ms = 0.5;
   }
@@ -211,7 +211,7 @@ TEST_F(QueryEnvTest, InheritedCacheAndElapsedForTwoStage) {
   EXPECT_DOUBLE_EQ(env.elapsed_ms(), 120.0);
   // C for mask 0b011 should only include the model eval (slots cached).
   std::vector<double> f = env.Features();
-  EXPECT_NEAR(f[1 + 0b011] * config_.tau_ms, ctx_.model_eval_ms, 1e-6);
+  EXPECT_NEAR(f[1 + 0b011] * config_.tau_ms, ctx_.params.model_eval_ms, 1e-6);
 }
 
 TEST_F(QueryEnvTest, FeatureClipping) {

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "harness/setup.h"
+#include "qte/accurate_qte.h"
 
 namespace maliva {
 namespace {

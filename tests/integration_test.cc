@@ -1,5 +1,6 @@
-// End-to-end integration: the full Maliva pipeline on a small Twitter
-// scenario must reproduce the paper's qualitative claims.
+// End-to-end integration: the full Maliva pipeline — served through
+// MalivaService — on a small Twitter scenario must reproduce the paper's
+// qualitative claims.
 
 #include <gtest/gtest.h>
 
@@ -7,6 +8,10 @@
 
 namespace maliva {
 namespace {
+
+const std::vector<ApproxRule> kRules = {{ApproxKind::kSampleTable, 0.2},
+                                        {ApproxKind::kSampleTable, 0.4},
+                                        {ApproxKind::kSampleTable, 0.8}};
 
 class IntegrationTest : public ::testing::Test {
  protected:
@@ -20,31 +25,31 @@ class IntegrationTest : public ::testing::Test {
     cfg.approx_sample_rates = {0.2, 0.4, 0.8};
     scenario_ = new Scenario(BuildScenario(cfg));
 
-    ExperimentSetup::Options opt;
-    opt.trainer.max_iterations = 15;
-    opt.num_agent_seeds = 1;
-    setup_ = new ExperimentSetup(scenario_, opt);
+    service_ = new MalivaService(scenario_, ServiceConfig()
+                                                .WithTrainerIterations(15)
+                                                .WithAgentSeeds(1)
+                                                .WithApproxRules(kRules));
   }
   static void TearDownTestSuite() {
-    delete setup_;
+    delete service_;
     delete scenario_;
-    setup_ = nullptr;
+    service_ = nullptr;
     scenario_ = nullptr;
   }
 
   static Scenario* scenario_;
-  static ExperimentSetup* setup_;
+  static MalivaService* service_;
 };
 
 Scenario* IntegrationTest::scenario_ = nullptr;
-ExperimentSetup* IntegrationTest::setup_ = nullptr;
+MalivaService* IntegrationTest::service_ = nullptr;
 
 TEST_F(IntegrationTest, MdpBeatsBaselineOnHardQueries) {
   BucketedWorkload bw = BucketQueries(*scenario_->oracle, scenario_->evaluation,
                                       scenario_->options, 500.0,
                                       BucketScheme::Exact0To4());
   ExperimentResult r = RunExperiment(
-      {setup_->Baseline(), setup_->MdpAccurate()}, bw);
+      {ApproachFor(*service_, "baseline"), ApproachFor(*service_, "mdp/accurate")}, bw);
 
   // Aggregate VQP over the hard buckets (1 and 2 viable plans).
   double base = 0.0, mdp = 0.0;
@@ -66,7 +71,7 @@ TEST_F(IntegrationTest, ZeroViableBucketUnservableWithoutApproximation) {
   BucketedWorkload bw = BucketQueries(*scenario_->oracle, scenario_->evaluation,
                                       scenario_->options, 500.0,
                                       BucketScheme::Exact0To4());
-  ExperimentResult r = RunExperiment({setup_->Baseline(), setup_->MdpAccurate()}, bw);
+  ExperimentResult r = RunExperiment({ApproachFor(*service_, "baseline"), ApproachFor(*service_, "mdp/accurate")}, bw);
   if (r.buckets[0].num_queries > 0) {
     EXPECT_DOUBLE_EQ(r.buckets[0].per_approach[0].vqp, 0.0);
     EXPECT_DOUBLE_EQ(r.buckets[0].per_approach[1].vqp, 0.0);
@@ -74,17 +79,14 @@ TEST_F(IntegrationTest, ZeroViableBucketUnservableWithoutApproximation) {
 }
 
 TEST_F(IntegrationTest, QualityAwareServesZeroViableQueries) {
-  std::vector<ApproxRule> rules = {{ApproxKind::kSampleTable, 0.2},
-                                   {ApproxKind::kSampleTable, 0.4},
-                                   {ApproxKind::kSampleTable, 0.8}};
-  Approach one_stage = setup_->OneStageQualityAware(rules);
+  Approach one_stage = ApproachFor(*service_, "quality/one-stage");
 
   BucketedWorkload bw = BucketQueries(*scenario_->oracle, scenario_->evaluation,
                                       scenario_->options, 500.0,
                                       BucketScheme::Exact0To4());
   if (bw.buckets[0].size() < 10) GTEST_SKIP() << "not enough 0-viable queries";
 
-  ExperimentResult r = RunExperiment({setup_->Baseline(), one_stage}, bw);
+  ExperimentResult r = RunExperiment({ApproachFor(*service_, "baseline"), one_stage}, bw);
   // Approximation unlocks some of the 0-viable bucket (paper Fig 20a).
   EXPECT_GT(r.buckets[0].per_approach[1].vqp, 5.0);
   // And quality on served queries is below 1 but far above 0.
@@ -93,11 +95,8 @@ TEST_F(IntegrationTest, QualityAwareServesZeroViableQueries) {
 }
 
 TEST_F(IntegrationTest, TwoStagePreservesQualityBetterThanOneStage) {
-  std::vector<ApproxRule> rules = {{ApproxKind::kSampleTable, 0.2},
-                                   {ApproxKind::kSampleTable, 0.4},
-                                   {ApproxKind::kSampleTable, 0.8}};
-  Approach one_stage = setup_->OneStageQualityAware(rules);
-  Approach two_stage = setup_->TwoStageQualityAware(rules);
+  Approach one_stage = ApproachFor(*service_, "quality/one-stage");
+  Approach two_stage = ApproachFor(*service_, "quality/two-stage");
 
   BucketedWorkload bw = BucketQueries(*scenario_->oracle, scenario_->evaluation,
                                       scenario_->options, 500.0,
@@ -122,7 +121,7 @@ TEST_F(IntegrationTest, ExperimentRunnerMetricsConsistent) {
   BucketedWorkload bw = BucketQueries(*scenario_->oracle, scenario_->evaluation,
                                       scenario_->options, 500.0,
                                       BucketScheme::Exact0To4());
-  ExperimentResult r = RunExperiment({setup_->Baseline()}, bw);
+  ExperimentResult r = RunExperiment({ApproachFor(*service_, "baseline")}, bw);
   for (const BucketMetrics& bm : r.buckets) {
     for (const ApproachMetrics& m : bm.per_approach) {
       EXPECT_GE(m.vqp, 0.0);
@@ -135,7 +134,7 @@ TEST_F(IntegrationTest, ExperimentRunnerMetricsConsistent) {
 }
 
 TEST_F(IntegrationTest, RewriteOutcomeDeterministic) {
-  Approach mdp = setup_->MdpAccurate();
+  Approach mdp = ApproachFor(*service_, "mdp/accurate");
   const Query& q = *scenario_->evaluation[0];
   RewriteOutcome a = mdp.rewrite(q);
   RewriteOutcome b = mdp.rewrite(q);
@@ -146,7 +145,7 @@ TEST_F(IntegrationTest, RewriteOutcomeDeterministic) {
 TEST_F(IntegrationTest, PlanningTimeBoundedByBudgetPlusOneStep) {
   // The agent stops exploring once the budget is spent: planning time can
   // overshoot tau by at most one estimation step.
-  Approach mdp = setup_->MdpAccurate();
+  Approach mdp = ApproachFor(*service_, "mdp/accurate");
   for (size_t i = 0; i < std::min<size_t>(50, scenario_->evaluation.size()); ++i) {
     RewriteOutcome out = mdp.rewrite(*scenario_->evaluation[i]);
     EXPECT_LE(out.planning_ms, 500.0 + 2.0 * 3 * 50.0 + 5.0);

@@ -25,9 +25,9 @@ class QteTest : public ::testing::Test {
     ctx_.options = &options_;
     ctx_.engine = engine_.get();
     ctx_.oracle = oracle_.get();
-    ctx_.unit_cost_ms = 40.0;
-    ctx_.model_eval_ms = 2.0;
-    ctx_.qte_sample_rate = 0.01;
+    ctx_.params.unit_cost_ms = 40.0;
+    ctx_.params.model_eval_ms = 2.0;
+    ctx_.params.qte_sample_rate = 0.01;
   }
 
   std::unique_ptr<Engine> engine_;
@@ -50,8 +50,8 @@ TEST_F(QteTest, NeededSlotsFollowMask) {
 TEST_F(QteTest, ActualSlotCostJittersAroundUnit) {
   for (size_t slot = 0; slot < 3; ++slot) {
     double c = ctx_.ActualSlotCostMs(slot);
-    EXPECT_GE(c, 0.75 * ctx_.unit_cost_ms);
-    EXPECT_LE(c, 1.25 * ctx_.unit_cost_ms);
+    EXPECT_GE(c, 0.75 * ctx_.params.unit_cost_ms);
+    EXPECT_LE(c, 1.25 * ctx_.params.unit_cost_ms);
     EXPECT_DOUBLE_EQ(c, ctx_.ActualSlotCostMs(slot));  // deterministic
   }
 }
