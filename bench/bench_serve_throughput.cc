@@ -1,0 +1,120 @@
+// Serving throughput: QPS of MalivaService::ServeBatch vs worker threads.
+//
+// Not a paper figure — this measures the reproduction's own concurrent
+// serving core (ISSUE 2): requests/second over a warm service at
+// num_threads in {1, 2, 4, 8}, plus a byte-equality audit of the parallel
+// results against the sequential ones. Wall-clock numbers are host-dependent
+// (unlike the virtual-time experiment benches); the invariant that must hold
+// everywhere is the byte-identity column.
+//
+// Scale note: per-request planning work here is microseconds of real CPU, so
+// speedups saturate well below linear on small batches; the point is that
+// throughput scales at all with zero result drift.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace maliva {
+namespace bench {
+namespace {
+
+std::vector<RewriteRequest> MakeRequests(const Scenario& scenario, size_t n) {
+  // Mixed strategies, heavier on the MDP path (the paper's serving mode).
+  const char* strategies[] = {"mdp/accurate", "mdp/sampling", "mdp/accurate",
+                              "naive", "baseline", "bao"};
+  std::vector<RewriteRequest> requests;
+  requests.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    RewriteRequest req;
+    req.query = scenario.evaluation[i % scenario.evaluation.size()];
+    req.strategy = strategies[i % (sizeof(strategies) / sizeof(strategies[0]))];
+    if (i % 9 == 0) req.tau_ms = 250.0 + 50.0 * static_cast<double>(i % 10);
+    requests.push_back(req);
+  }
+  return requests;
+}
+
+bool SameResponse(const Result<RewriteResponse>& a, const Result<RewriteResponse>& b) {
+  if (a.ok() != b.ok()) return false;
+  if (!a.ok()) return a.status().code() == b.status().code();
+  const RewriteResponse& ra = a.value();
+  const RewriteResponse& rb = b.value();
+  return ra.strategy == rb.strategy && ra.rewritten_sql == rb.rewritten_sql &&
+         ra.outcome.option_index == rb.outcome.option_index &&
+         ra.outcome.planning_ms == rb.outcome.planning_ms &&
+         ra.outcome.exec_ms == rb.outcome.exec_ms &&
+         ra.outcome.total_ms == rb.outcome.total_ms &&
+         ra.outcome.viable == rb.outcome.viable &&
+         ra.outcome.steps == rb.outcome.steps &&
+         ra.outcome.quality == rb.outcome.quality;
+}
+
+int Run() {
+  PrintBanner("Serving throughput: ServeBatch QPS vs num_threads (1/2/4/8)");
+
+  // Smaller than the figure benches: this measures serving throughput, not
+  // agent quality, so the scenario and training are sized for a fast warm-up.
+  ScenarioConfig cfg = TwitterConfig500ms();
+  cfg.num_rows = 60000;
+  cfg.num_queries = 400;
+  std::printf("building scenario (%zu rows, %zu queries)...\n", cfg.num_rows,
+              cfg.num_queries);
+  Scenario scenario = BuildScenario(cfg);
+
+  const size_t kBatch = 4000;
+  const size_t thread_counts[] = {1, 2, 4, 8};
+
+  // Train once per service; identical seeds give identical agents, so the
+  // per-thread-count services are interchangeable.
+  std::vector<Result<RewriteResponse>> reference;
+  std::printf("%-12s %-12s %-12s %-12s %s\n", "threads", "batch", "seconds",
+              "QPS", "byte-identical");
+  for (size_t threads : thread_counts) {
+    MalivaService service(&scenario, ServiceConfig()
+                                         .WithTrainerIterations(8)
+                                         .WithAgentSeeds(1)
+                                         .WithNumThreads(threads));
+    Status warm = service.Warmup(
+        {"mdp/accurate", "mdp/sampling", "naive", "baseline", "bao"});
+    if (!warm.ok()) {
+      std::printf("warmup failed: %s\n", warm.ToString().c_str());
+      return 1;
+    }
+    std::vector<RewriteRequest> requests = MakeRequests(scenario, kBatch);
+
+    // Untimed warm pass: fills the scenario-owned PlanTimeOracle memo (shared
+    // across the per-thread-count services), so every timed pass measures
+    // serving work, not first-touch plan executions.
+    (void)service.ServeBatch(requests);
+
+    Stopwatch watch;
+    std::vector<Result<RewriteResponse>> responses = service.ServeBatch(requests);
+    double seconds = watch.Seconds();
+
+    bool identical = true;
+    if (threads == 1) {
+      reference = std::move(responses);
+    } else {
+      for (size_t i = 0; i < reference.size(); ++i) {
+        if (!SameResponse(reference[i], responses[i])) {
+          identical = false;
+          break;
+        }
+      }
+    }
+    std::printf("%-12zu %-12zu %-12.3f %-12.0f %s\n", threads, kBatch, seconds,
+                static_cast<double>(kBatch) / seconds,
+                threads == 1 ? "(reference)" : (identical ? "yes" : "NO — BUG"));
+    if (!identical) return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace maliva
+
+int main() { return maliva::bench::Run(); }

@@ -3,10 +3,36 @@
 #
 # The service layer (src/service/) is held to -Wall -Wextra with warnings
 # treated as errors; the rest of the tree builds with default flags.
+#
+#   scripts/ci.sh          # regular build + full test suite
+#   scripts/ci.sh --tsan   # additionally: ThreadSanitizer build (build-tsan/)
+#                          # running the service/concurrency suites
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+run_tsan=0
+for arg in "$@"; do
+  case "$arg" in
+    --tsan) run_tsan=1 ;;
+    *) echo "unknown option: $arg (supported: --tsan)" >&2; exit 2 ;;
+  esac
+done
+
 cmake -B build -S . -DMALIVA_SERVICE_WERROR=ON
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+if [[ "$run_tsan" == 1 ]]; then
+  # TSan pass over the concurrent serving core: parallel ServeBatch, lazy
+  # strategy builds, and the memoized oracles. Scoped to the service and
+  # concurrency suites — training-heavy suites are slow under TSan and
+  # exercise no additional threading.
+  cmake -B build-tsan -S . -DMALIVA_TSAN=ON \
+    -DMALIVA_BUILD_BENCHES=OFF -DMALIVA_BUILD_EXAMPLES=OFF \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j"$(nproc)" --target maliva_tests
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
+      -R 'Service|Concurrency'
+fi

@@ -88,8 +88,9 @@ std::unique_ptr<BaoQte> BaoTrainer::Train(const std::vector<const Query*>& workl
   return qte;
 }
 
-RewriteOutcome BaoRewriter::RewriteWithBudget(const Query& query,
-                                              double tau_ms) const {
+RewriteOutcome BaoRewriter::RewriteForSession(const Query& query, double tau_ms,
+                                              RewriteSession& session) const {
+  (void)session;  // enumeration keeps no per-request state beyond locals
   double planning_ms = engine_->profile().optimizer_ms;
   size_t best = 0;
   double best_pred = std::numeric_limits<double>::infinity();

@@ -84,7 +84,8 @@ class BaoRewriter : public Rewriter {
   const std::string& name() const override { return name_; }
   double default_tau_ms() const override { return tau_ms_; }
 
-  RewriteOutcome RewriteWithBudget(const Query& query, double tau_ms) const override;
+  RewriteOutcome RewriteForSession(const Query& query, double tau_ms,
+                                   RewriteSession& session) const override;
 
   const RewriteOption* DecidedOption(const RewriteOutcome& outcome) const override {
     return &(*options_)[outcome.option_index];

@@ -4,8 +4,9 @@
 
 namespace maliva {
 
-RewriteOutcome BaselineRewriter::RewriteWithBudget(const Query& query,
-                                                   double tau_ms) const {
+RewriteOutcome BaselineRewriter::RewriteForSession(const Query& query, double tau_ms,
+                                                   RewriteSession& session) const {
+  (void)session;  // no planning episode, no mutable state
   RewriteOutcome out;
   out.option_index = 0;
   out.planning_ms = engine_->profile().optimizer_ms;
@@ -18,10 +19,10 @@ RewriteOutcome BaselineRewriter::RewriteWithBudget(const Query& query,
   return out;
 }
 
-RewriteOutcome NaiveRewriter::RewriteWithBudget(const Query& query,
-                                                double tau_ms) const {
+RewriteOutcome NaiveRewriter::RewriteForSession(const Query& query, double tau_ms,
+                                                RewriteSession& session) const {
   QteContext ctx = renv_.MakeContext(query);
-  SelectivityCache cache(ctx.NumSlots());
+  SelectivityCache& cache = session.NewCache(ctx.NumSlots());
 
   double planning_ms = 0.0;
   size_t best = 0;

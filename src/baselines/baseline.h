@@ -19,7 +19,8 @@ class BaselineRewriter : public Rewriter {
   const std::string& name() const override { return name_; }
   double default_tau_ms() const override { return tau_ms_; }
 
-  RewriteOutcome RewriteWithBudget(const Query& query, double tau_ms) const override;
+  RewriteOutcome RewriteForSession(const Query& query, double tau_ms,
+                                   RewriteSession& session) const override;
 
  private:
   const Engine* engine_;
@@ -39,7 +40,8 @@ class NaiveRewriter : public Rewriter {
   const std::string& name() const override { return name_; }
   double default_tau_ms() const override { return renv_.env_config.tau_ms; }
 
-  RewriteOutcome RewriteWithBudget(const Query& query, double tau_ms) const override;
+  RewriteOutcome RewriteForSession(const Query& query, double tau_ms,
+                                   RewriteSession& session) const override;
 
   const RewriteOption* DecidedOption(const RewriteOutcome& outcome) const override {
     return &(*renv_.options)[outcome.option_index];

@@ -6,15 +6,33 @@
 
 namespace maliva {
 
-QueryEnv::QueryEnv(const QteContext* ctx, QueryTimeEstimator* qte,
+QueryEnv::QueryEnv(const QteContext* ctx, const QueryTimeEstimator* qte,
                    const EnvConfig& config, double initial_elapsed_ms,
                    const SelectivityCache* inherited_cache)
     : ctx_(ctx),
       qte_(qte),
       config_(config),
-      cache_(inherited_cache != nullptr ? *inherited_cache
-                                        : SelectivityCache(ctx->NumSlots())),
+      owned_cache_(inherited_cache != nullptr ? *inherited_cache
+                                              : SelectivityCache(ctx->NumSlots())),
+      cache_(&*owned_cache_),
       elapsed_ms_(initial_elapsed_ms) {
+  InitOptionState();
+}
+
+QueryEnv::QueryEnv(const QteContext* ctx, const QueryTimeEstimator* qte,
+                   const EnvConfig& config, SelectivityCache* session_cache,
+                   double initial_elapsed_ms)
+    : ctx_(ctx),
+      qte_(qte),
+      config_(config),
+      cache_(session_cache),
+      elapsed_ms_(initial_elapsed_ms) {
+  assert(session_cache != nullptr);
+  assert(session_cache->num_slots() == ctx->NumSlots());
+  InitOptionState();
+}
+
+void QueryEnv::InitOptionState() {
   size_t n = ctx_->options->size();
   assert(n > 0);
   est_cost_.resize(n);
@@ -22,7 +40,7 @@ QueryEnv::QueryEnv(const QteContext* ctx, QueryTimeEstimator* qte,
   explored_.assign(n, 0);
   valid_.assign(n, 1);
   for (size_t i = 0; i < n; ++i) {
-    est_cost_[i] = qte_->PredictCostMs(*ctx_, i, cache_);
+    est_cost_[i] = qte_->PredictCostMs(*ctx_, i, *cache_);
   }
 }
 
@@ -63,7 +81,7 @@ double QueryEnv::Step(size_t action) {
   assert(!terminal_);
   assert(action < valid_.size() && valid_[action] != 0);
 
-  QteEstimate est = qte_->Estimate(*ctx_, action, &cache_);
+  QteEstimate est = qte_->Estimate(*ctx_, action, cache_);
   elapsed_ms_ += est.cost_ms + config_.agent_decision_ms;
   est_time_[action] = est.est_ms;
   explored_[action] = 1;
@@ -73,7 +91,7 @@ double QueryEnv::Step(size_t action) {
 
   // Shared selectivities just got cheaper for the unexplored RQs (Fig 7).
   for (size_t i = 0; i < est_cost_.size(); ++i) {
-    if (!explored_[i]) est_cost_[i] = qte_->PredictCostMs(*ctx_, i, cache_);
+    if (!explored_[i]) est_cost_[i] = qte_->PredictCostMs(*ctx_, i, *cache_);
   }
 
   double tau = config_.tau_ms;

@@ -15,6 +15,7 @@
 #define MALIVA_CORE_QUERY_ENV_H_
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "qte/qte.h"
@@ -42,9 +43,24 @@ class QueryEnv {
  public:
   /// `ctx` must outlive the env. `initial_elapsed_ms` and a pre-seeded cache
   /// support the two-stage rewriter, whose second stage resumes mid-budget.
-  QueryEnv(const QteContext* ctx, QueryTimeEstimator* qte, const EnvConfig& config,
-           double initial_elapsed_ms = 0.0,
+  /// The env owns its SelectivityCache (copied from `inherited_cache` when
+  /// one is given).
+  QueryEnv(const QteContext* ctx, const QueryTimeEstimator* qte,
+           const EnvConfig& config, double initial_elapsed_ms = 0.0,
            const SelectivityCache* inherited_cache = nullptr);
+
+  /// Serving-path variant: the episode's cache is owned by the caller (a
+  /// RewriteSession), may already hold collected selectivities, and must have
+  /// ctx->NumSlots() slots and outlive the env. Multi-stage rewriters pass
+  /// the same session cache to every stage to resume collections.
+  QueryEnv(const QteContext* ctx, const QueryTimeEstimator* qte,
+           const EnvConfig& config, SelectivityCache* session_cache,
+           double initial_elapsed_ms = 0.0);
+
+  // Not copyable/movable: cache_ may point into owned_cache_, which a
+  // defaulted copy would leave aliasing the source env.
+  QueryEnv(const QueryEnv&) = delete;
+  QueryEnv& operator=(const QueryEnv&) = delete;
 
   size_t num_actions() const { return ctx_->options->size(); }
 
@@ -68,18 +84,20 @@ class QueryEnv {
   /// Number of exploration steps taken.
   size_t steps() const { return steps_; }
 
-  const SelectivityCache& cache() const { return cache_; }
+  const SelectivityCache& cache() const { return *cache_; }
   const QteContext& ctx() const { return *ctx_; }
   const EnvConfig& config() const { return config_; }
 
  private:
   double TerminalReward(size_t decided);
+  void InitOptionState();
 
   const QteContext* ctx_;
-  QueryTimeEstimator* qte_;
+  const QueryTimeEstimator* qte_;
   EnvConfig config_;
 
-  SelectivityCache cache_;
+  std::optional<SelectivityCache> owned_cache_;
+  SelectivityCache* cache_;  // owned_cache_ or the caller's session cache
   double elapsed_ms_ = 0.0;
   std::vector<double> est_cost_;   // C_i
   std::vector<double> est_time_;   // T_i (0 until explored)

@@ -1,0 +1,87 @@
+// Per-request mutable state for one serving call.
+//
+// The serving stack is split into a shared-immutable half (engine catalog,
+// trained agents, QTEs, option sets — frozen after warm-up, see
+// src/service/serving_state.h) and this per-request half: everything a single
+// Serve call mutates lives in a RewriteSession owned by that call's stack
+// frame. Sessions are never shared between threads, so the serve path needs
+// no locking beyond the two memoized oracles.
+//
+// A session owns:
+//   * the request's SelectivityCache(s) — rewriters allocate episode caches
+//     here instead of keeping any internal scratch state;
+//   * a deterministic RNG seeded from the request *index* (not from a shared
+//     stream), so batch results are independent of thread interleaving;
+//   * the multi-attempt accounting used by the quality-floor fallback (the
+//     first attempt's planning time stays on the final bill).
+
+#ifndef MALIVA_CORE_REWRITE_SESSION_H_
+#define MALIVA_CORE_REWRITE_SESSION_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "qte/selectivity_cache.h"
+#include "util/rng.h"
+
+namespace maliva {
+
+/// Mutable state of one in-flight rewrite request.
+class RewriteSession {
+ public:
+  explicit RewriteSession(uint64_t seed) : rng_(seed) {}
+
+  RewriteSession(const RewriteSession&) = delete;
+  RewriteSession& operator=(const RewriteSession&) = delete;
+
+  /// Session seed for request `request_index` of a batch served under
+  /// `base_seed`: a splitmix64 finalization of the pair, so neighbouring
+  /// indices get uncorrelated streams and the mapping is stable across
+  /// thread counts and interleavings.
+  static uint64_t SeedFor(uint64_t base_seed, uint64_t request_index) {
+    uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL * (request_index + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// The request's private random stream. Built-in strategies are fully
+  /// deterministic and never draw from it; stochastic custom strategies must
+  /// use this (and only this) source so batch serving stays reproducible.
+  Rng& rng() { return rng_; }
+
+  /// Allocates a selectivity cache for one planning episode. References stay
+  /// valid for the session's lifetime (deque storage), so a multi-stage
+  /// rewriter can resume an earlier stage's collected selectivities.
+  SelectivityCache& NewCache(size_t num_slots) {
+    return caches_.emplace_back(num_slots);
+  }
+
+  size_t num_caches() const { return caches_.size(); }
+
+  // --- multi-attempt accounting (quality-floor fallback) -------------------
+
+  /// Records planning effort of an abandoned attempt; the service adds it to
+  /// the final outcome's bill.
+  void ChargeAbandonedAttempt(double planning_ms, size_t steps) {
+    abandoned_planning_ms_ += planning_ms;
+    abandoned_steps_ += steps;
+  }
+
+  double abandoned_planning_ms() const { return abandoned_planning_ms_; }
+  size_t abandoned_steps() const { return abandoned_steps_; }
+
+  bool exact_fallback() const { return exact_fallback_; }
+  void set_exact_fallback(bool value) { exact_fallback_ = value; }
+
+ private:
+  Rng rng_;
+  std::deque<SelectivityCache> caches_;
+  double abandoned_planning_ms_ = 0.0;
+  size_t abandoned_steps_ = 0;
+  bool exact_fallback_ = false;
+};
+
+}  // namespace maliva
+
+#endif  // MALIVA_CORE_REWRITE_SESSION_H_

@@ -43,10 +43,17 @@ RewriterEnv WithBudget(const RewriterEnv& renv, double tau_ms) {
 
 }  // namespace
 
-RewriteOutcome RunGreedyEpisode(const RewriterEnv& renv, const QAgent& agent,
-                                const Query& query) {
-  QteContext ctx = renv.MakeContext(query);
-  QueryEnv env(&ctx, renv.qte, renv.env_config);
+RewriteOutcome Rewriter::RewriteWithBudget(const Query& query, double tau_ms) const {
+  // Throwaway session: built-in strategies never draw from the session RNG,
+  // so this is byte-identical to serving inside a batch session.
+  RewriteSession session(RewriteSession::SeedFor(0, query.id));
+  return RewriteForSession(query, tau_ms, session);
+}
+
+namespace {
+
+RewriteOutcome RunGreedyEpisodeOn(const RewriterEnv& renv, const QAgent& agent,
+                                  const Query& query, QueryEnv& env) {
   while (!env.terminal()) {
     size_t action = agent.GreedyAction(env.Features(), env.valid_actions());
     env.Step(action);
@@ -54,17 +61,35 @@ RewriteOutcome RunGreedyEpisode(const RewriterEnv& renv, const QAgent& agent,
   return OutcomeFromEnv(renv, env, query);
 }
 
-RewriteOutcome MalivaRewriter::RewriteWithBudget(const Query& query,
-                                                 double tau_ms) const {
-  return RunGreedyEpisode(WithBudget(renv_, tau_ms), *agent_, query);
+}  // namespace
+
+RewriteOutcome RunGreedyEpisode(const RewriterEnv& renv, const QAgent& agent,
+                                const Query& query) {
+  QteContext ctx = renv.MakeContext(query);
+  QueryEnv env(&ctx, renv.qte, renv.env_config);
+  return RunGreedyEpisodeOn(renv, agent, query, env);
 }
 
-RewriteOutcome TwoStageRewriter::RewriteWithBudget(const Query& query,
-                                                   double tau) const {
-  // Stage 1: exact (hint-only) options.
+RewriteOutcome RunGreedyEpisode(const RewriterEnv& renv, const QAgent& agent,
+                                const Query& query, RewriteSession& session) {
+  QteContext ctx = renv.MakeContext(query);
+  QueryEnv env(&ctx, renv.qte, renv.env_config, &session.NewCache(ctx.NumSlots()));
+  return RunGreedyEpisodeOn(renv, agent, query, env);
+}
+
+RewriteOutcome MalivaRewriter::RewriteForSession(const Query& query, double tau_ms,
+                                                 RewriteSession& session) const {
+  return RunGreedyEpisode(WithBudget(renv_, tau_ms), *agent_, query, session);
+}
+
+RewriteOutcome TwoStageRewriter::RewriteForSession(const Query& query, double tau,
+                                                   RewriteSession& session) const {
+  // Stage 1: exact (hint-only) options. The session cache is shared with
+  // stage 2, which resumes the collected selectivities.
   RewriterEnv exact = WithBudget(exact_, tau);
   QteContext ctx1 = exact.MakeContext(query);
-  QueryEnv env1(&ctx1, exact.qte, exact.env_config);
+  SelectivityCache& cache = session.NewCache(ctx1.NumSlots());
+  QueryEnv env1(&ctx1, exact.qte, exact.env_config, &cache);
 
   while (!env1.terminal()) {
     size_t action = exact_agent_->GreedyAction(env1.Features(), env1.valid_actions());
@@ -85,11 +110,10 @@ RewriteOutcome TwoStageRewriter::RewriteWithBudget(const Query& query,
   double stage1_best_est = env1.decided_exec_ms();
 
   // Stage 2: approximate options, resuming the elapsed budget and the
-  // collected selectivities.
+  // collected selectivities (same session cache).
   RewriterEnv approx = WithBudget(approx_, tau);
   QteContext ctx2 = approx.MakeContext(query);
-  QueryEnv env2(&ctx2, approx.qte, approx.env_config, env1.elapsed_ms(),
-                &env1.cache());
+  QueryEnv env2(&ctx2, approx.qte, approx.env_config, &cache, env1.elapsed_ms());
   while (!env2.terminal()) {
     size_t action = approx_agent_->GreedyAction(env2.Features(), env2.valid_actions());
     env2.Step(action);

@@ -15,6 +15,7 @@
 
 #include "core/agent.h"
 #include "core/query_env.h"
+#include "core/rewrite_session.h"
 #include "qte/qte_params.h"
 
 namespace maliva {
@@ -31,12 +32,15 @@ struct RewriteOutcome {
   bool approximate = false;  ///< chosen option used an approximation rule
 };
 
-/// Shared plumbing for rewriters: builds per-query QTE contexts.
+/// Shared plumbing for rewriters: builds per-query QTE contexts. Everything
+/// reachable from an env is immutable during serving (the QTE is stateless,
+/// the oracles memoize behind their own locks), so one env is safely shared
+/// by concurrent requests.
 struct RewriterEnv {
   const Engine* engine = nullptr;
   const PlanTimeOracle* oracle = nullptr;
   const RewriteOptionSet* options = nullptr;
-  QueryTimeEstimator* qte = nullptr;
+  const QueryTimeEstimator* qte = nullptr;
   QteParams qte_params;
   EnvConfig env_config;
 
@@ -51,6 +55,12 @@ struct RewriterEnv {
 /// request — used by MalivaService to honor per-request tau. Agents are not
 /// retrained for the override; the paper's Section 7.6 shows trained agents
 /// generalize across budgets.
+///
+/// Statelessness contract: implementations hold only state that is immutable
+/// after construction. All per-request mutable state (episode selectivity
+/// caches, randomness) comes from the RewriteSession passed to
+/// `RewriteForSession` — this is what lets MalivaService share one rewriter
+/// instance across serving threads.
 class Rewriter {
  public:
   virtual ~Rewriter() = default;
@@ -65,8 +75,15 @@ class Rewriter {
     return RewriteWithBudget(query, default_tau_ms());
   }
 
-  /// Rewrites `query` under an explicit time budget `tau_ms`.
-  virtual RewriteOutcome RewriteWithBudget(const Query& query, double tau_ms) const = 0;
+  /// Rewrites `query` under an explicit time budget `tau_ms` in a throwaway
+  /// session (convenience for harnesses and tests; the serving path passes
+  /// its own per-request session).
+  RewriteOutcome RewriteWithBudget(const Query& query, double tau_ms) const;
+
+  /// Rewrites `query` under `tau_ms`, drawing all mutable episode state
+  /// (selectivity caches, randomness) from `session`.
+  virtual RewriteOutcome RewriteForSession(const Query& query, double tau_ms,
+                                           RewriteSession& session) const = 0;
 
   /// The rewrite option `outcome` decided on, or nullptr when the strategy
   /// delegated planning entirely to the backend optimizer (no hints). Needed
@@ -79,9 +96,15 @@ class Rewriter {
 };
 
 /// Runs one greedy planning episode with `agent`; shared by the online
-/// rewriter and the trainer's convergence evaluation.
+/// rewriter and the trainer's convergence evaluation. The episode's
+/// selectivity cache is env-owned.
 RewriteOutcome RunGreedyEpisode(const RewriterEnv& renv, const QAgent& agent,
                                 const Query& query);
+
+/// Session variant: the episode's selectivity cache is allocated from (and
+/// owned by) `session`.
+RewriteOutcome RunGreedyEpisode(const RewriterEnv& renv, const QAgent& agent,
+                                const Query& query, RewriteSession& session);
 
 /// Maliva's MDP-based online rewriter (Algorithm 2).
 class MalivaRewriter : public Rewriter {
@@ -93,7 +116,8 @@ class MalivaRewriter : public Rewriter {
   double default_tau_ms() const override { return renv_.env_config.tau_ms; }
   const RewriterEnv& renv() const { return renv_; }
 
-  RewriteOutcome RewriteWithBudget(const Query& query, double tau_ms) const override;
+  RewriteOutcome RewriteForSession(const Query& query, double tau_ms,
+                                   RewriteSession& session) const override;
 
   const RewriteOption* DecidedOption(const RewriteOutcome& outcome) const override {
     return &(*renv_.options)[outcome.option_index];
@@ -124,7 +148,8 @@ class TwoStageRewriter : public Rewriter {
   const std::string& name() const override { return name_; }
   double default_tau_ms() const override { return exact_.env_config.tau_ms; }
 
-  RewriteOutcome RewriteWithBudget(const Query& query, double tau_ms) const override;
+  RewriteOutcome RewriteForSession(const Query& query, double tau_ms,
+                                   RewriteSession& session) const override;
 
   const RewriteOption* DecidedOption(const RewriteOutcome& outcome) const override {
     const RewriterEnv& env = outcome.approximate ? approx_ : exact_;

@@ -76,7 +76,7 @@ class ExperimentSetup {
     return service_.EvaluateAgentVqp(agent, workload);
   }
 
-  RewriterEnv MakeEnv(QueryTimeEstimator* qte, double beta = 1.0,
+  RewriterEnv MakeEnv(const QueryTimeEstimator* qte, double beta = 1.0,
                       const RewriteOptionSet* options = nullptr) const {
     return service_.MakeEnv(qte, beta, options);
   }

@@ -5,7 +5,7 @@
 namespace maliva {
 
 QteEstimate AccurateQte::Estimate(const QteContext& ctx, size_t ro_index,
-                                  SelectivityCache* cache) {
+                                  SelectivityCache* cache) const {
   assert(ctx.query != nullptr && ctx.options != nullptr && ctx.oracle != nullptr);
   QteEstimate out;
   out.cost_ms = CollectCostMs(ctx, ro_index, *cache);

@@ -21,7 +21,7 @@ class AccurateQte : public QueryTimeEstimator {
   double CostFactor() const override { return 2.0; }
 
   QteEstimate Estimate(const QteContext& ctx, size_t ro_index,
-                       SelectivityCache* cache) override;
+                       SelectivityCache* cache) const override;
 };
 
 }  // namespace maliva

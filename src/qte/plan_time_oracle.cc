@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cassert>
+#include <mutex>
 
 namespace maliva {
 
@@ -19,12 +20,18 @@ uint64_t PlanTimeOracle::Key(const Query& query, const RewriteOption& option) {
 
 double PlanTimeOracle::TrueTimeMs(const Query& query, const RewriteOption& option) const {
   uint64_t key = Key(query, option);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  // Execute outside the lock: deterministic, so a concurrent duplicate
+  // computes the same value and emplace keeps whichever landed first.
   RewrittenQuery rq{&query, option};
   Result<ExecResult> result = engine_->Execute(rq);
   assert(result.ok());
   double ms = result.value().exec_ms;
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   cache_.emplace(key, ms);
   return ms;
 }

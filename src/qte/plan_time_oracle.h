@@ -4,11 +4,18 @@
 // need the true (virtual) execution time of applying a rewrite option to a
 // query. Executing a plan is deterministic, so results are computed once and
 // memoized here.
+//
+// Thread-safe: the oracle sits on the concurrent serving path (one instance
+// shared by every worker), so the memo table is guarded by a shared mutex.
+// Cache misses execute the plan *outside* the lock — execution is
+// deterministic, so a racing duplicate computes the identical value and the
+// second insert is a no-op.
 
 #ifndef MALIVA_QTE_PLAN_TIME_ORACLE_H_
 #define MALIVA_QTE_PLAN_TIME_ORACLE_H_
 
 #include <cstdint>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "engine/engine.h"
@@ -25,7 +32,10 @@ class PlanTimeOracle {
   double TrueTimeMs(const Query& query, const RewriteOption& option) const;
 
   /// Number of distinct (query, option) executions performed so far.
-  size_t CacheSize() const { return cache_.size(); }
+  size_t CacheSize() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return cache_.size();
+  }
 
   const Engine* engine() const { return engine_; }
 
@@ -33,6 +43,7 @@ class PlanTimeOracle {
   static uint64_t Key(const Query& query, const RewriteOption& option);
 
   const Engine* engine_;
+  mutable std::shared_mutex mutex_;
   mutable std::unordered_map<uint64_t, double> cache_;
 };
 

@@ -49,6 +49,10 @@ struct QteEstimate {
 
 /// Estimates the execution time of rewritten queries. Implementations charge
 /// per-selectivity collection costs against the shared SelectivityCache.
+///
+/// Implementations must be stateless (const and data-race-free): all mutable
+/// per-request state lives in the caller-supplied SelectivityCache, so one
+/// estimator instance is shared by every concurrent serving thread.
 class QueryTimeEstimator {
  public:
   virtual ~QueryTimeEstimator() = default;
@@ -63,7 +67,7 @@ class QueryTimeEstimator {
   /// Estimates option `ro_index`, collecting missing selectivities into
   /// `cache` (and paying their cost).
   virtual QteEstimate Estimate(const QteContext& ctx, size_t ro_index,
-                               SelectivityCache* cache) = 0;
+                               SelectivityCache* cache) const = 0;
 
   /// A-priori cost prediction for estimating option `ro_index` given what is
   /// already cached — the C_i entries of the MDP state.

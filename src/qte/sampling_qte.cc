@@ -7,7 +7,7 @@
 namespace maliva {
 
 QteEstimate SamplingQte::Estimate(const QteContext& ctx, size_t ro_index,
-                                  SelectivityCache* cache) {
+                                  SelectivityCache* cache) const {
   assert(ctx.query != nullptr && ctx.options != nullptr && ctx.engine != nullptr);
   const Query& query = *ctx.query;
   const RewriteOption& option = (*ctx.options)[ro_index];

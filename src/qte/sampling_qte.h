@@ -20,7 +20,7 @@ class SamplingQte : public QueryTimeEstimator {
   const char* name() const override { return "Approximate-QTE"; }
 
   QteEstimate Estimate(const QteContext& ctx, size_t ro_index,
-                       SelectivityCache* cache) override;
+                       SelectivityCache* cache) const override;
 };
 
 }  // namespace maliva

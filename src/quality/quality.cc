@@ -4,6 +4,7 @@
 #include <bit>
 #include <cassert>
 #include <cmath>
+#include <mutex>
 #include <unordered_set>
 
 namespace maliva {
@@ -80,21 +81,35 @@ double QualityOracle::Quality(const Query& query, const RewriteOption& option) c
   if (!option.approx.IsApproximate()) return 1.0;
 
   uint64_t key = OptionKey(query, option);
-  auto it = quality_cache_.find(key);
-  if (it != quality_cache_.end()) return it->second;
+  bool have_exact = false;
+  VisResult exact_vis;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = quality_cache_.find(key);
+    if (it != quality_cache_.end()) return it->second;
+    auto exact_it = exact_cache_.find(query.id);
+    if (exact_it != exact_cache_.end()) {
+      have_exact = true;
+      exact_vis = exact_it->second;
+    }
+  }
 
-  auto exact_it = exact_cache_.find(query.id);
-  if (exact_it == exact_cache_.end()) {
+  // Execute outside the lock: deterministic, so concurrent duplicates agree
+  // and the losing emplace is a no-op.
+  if (!have_exact) {
     RewrittenQuery exact_rq{&query, RewriteOption{}};
     Result<ExecResult> exact = engine_->Execute(exact_rq);
     assert(exact.ok());
-    exact_it = exact_cache_.emplace(query.id, std::move(exact.value().vis)).first;
+    exact_vis = std::move(exact.value().vis);
   }
 
   RewrittenQuery rq{&query, option};
   Result<ExecResult> approx = engine_->Execute(rq);
   assert(approx.ok());
-  double q = VisQuality(query, exact_it->second, approx.value().vis);
+  double q = VisQuality(query, exact_vis, approx.value().vis);
+
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (!have_exact) exact_cache_.emplace(query.id, std::move(exact_vis));
   quality_cache_.emplace(key, q);
   return q;
 }

@@ -9,6 +9,7 @@
 #define MALIVA_QUALITY_QUALITY_H_
 
 #include <cstdint>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "engine/engine.h"
@@ -33,6 +34,11 @@ double VisQuality(const Query& query, const VisResult& exact, const VisResult& a
 /// Memoized quality of rewritten queries against their original query.
 /// Executing Q exactly is expensive; the paper only ever pays this cost in
 /// the offline training phase, and so do we.
+///
+/// Thread-safe: one oracle instance is shared by every concurrent serving
+/// thread. Lookups take a shared lock; cache misses execute outside the lock
+/// (execution is deterministic, so racing duplicates agree) and insert under
+/// a unique lock.
 class QualityOracle {
  public:
   explicit QualityOracle(const Engine* engine) : engine_(engine) {}
@@ -43,6 +49,7 @@ class QualityOracle {
 
  private:
   const Engine* engine_;
+  mutable std::shared_mutex mutex_;
   mutable std::unordered_map<uint64_t, VisResult> exact_cache_;   // by query id
   mutable std::unordered_map<uint64_t, double> quality_cache_;    // by (q, ro)
 };

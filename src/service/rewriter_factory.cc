@@ -35,16 +35,26 @@ Result<std::unique_ptr<Rewriter>> RewriterFactory::Create(
     const std::string& name, MalivaService& service) const {
   auto it = builders_.find(name);
   if (it == builders_.end()) {
-    return Status::NotFound("unknown rewriting strategy: \"" + name + "\"");
+    return Status::NotFound("unknown rewriting strategy: \"" + name +
+                            "\" (known strategies: " + KnownStrategiesList() + ")");
   }
   return it->second(service);
 }
 
-std::vector<std::string> RewriterFactory::Names() const {
+std::vector<std::string> RewriterFactory::KnownStrategies() const {
   std::vector<std::string> names;
   names.reserve(builders_.size());
   for (const auto& [name, builder] : builders_) names.push_back(name);
   return names;  // std::map keeps them sorted
+}
+
+std::string RewriterFactory::KnownStrategiesList() const {
+  std::string list;
+  for (const auto& [name, builder] : builders_) {
+    if (!list.empty()) list += ", ";
+    list += name;
+  }
+  return list;
 }
 
 }  // namespace maliva

@@ -45,15 +45,22 @@ class RewriterFactory {
 
   bool Has(const std::string& name) const;
 
-  /// Builds strategy `name` against `service`. NotFound for unknown names;
-  /// builder errors (e.g. missing approximation rules) pass through.
+  /// Builds strategy `name` against `service`. Unknown names return NotFound
+  /// with the full list of valid keys in the message; builder errors (e.g.
+  /// missing approximation rules) pass through.
   Result<std::unique_ptr<Rewriter>> Create(const std::string& name,
                                            MalivaService& service) const;
 
-  /// All registered names, sorted.
-  std::vector<std::string> Names() const;
+  /// All registered strategy keys, sorted.
+  std::vector<std::string> KnownStrategies() const;
+
+  /// Deprecated alias of KnownStrategies().
+  std::vector<std::string> Names() const { return KnownStrategies(); }
 
  private:
+  /// Comma-separated KnownStrategies(), for error messages.
+  std::string KnownStrategiesList() const;
+
   std::map<std::string, Builder> builders_;
 };
 

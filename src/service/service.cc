@@ -1,6 +1,8 @@
 #include "service/service.h"
 
+#include <algorithm>
 #include <cassert>
+#include <mutex>
 #include <utility>
 
 #include "baselines/bao.h"
@@ -9,6 +11,7 @@
 #include "qte/sampling_qte.h"
 #include "quality/quality.h"
 #include "query/rewritten_query.h"
+#include "util/thread_pool.h"
 
 namespace maliva {
 
@@ -23,14 +26,17 @@ MalivaService::MalivaService(Scenario* scenario, ServiceConfig config)
     // service over the same scenario reproduces every estimation cost.
     qte_params_.jitter_seed = scenario_->config.seed ^ 0x6a697474;
   }
-  accurate_qte_ = std::make_unique<AccurateQte>();
-  sampling_qte_ = std::make_unique<SamplingQte>();
-  quality_oracle_ = std::make_unique<QualityOracle>(scenario_->engine.get());
+  // Per-request session seeds mix this base with the request index, so batch
+  // results are independent of thread count and interleaving.
+  session_seed_base_ = scenario_->config.seed ^ 0x73657373;  // "sess"
+  state_.accurate_qte = std::make_unique<AccurateQte>();
+  state_.sampling_qte = std::make_unique<SamplingQte>();
+  state_.quality_oracle = std::make_unique<QualityOracle>(scenario_->engine.get());
 }
 
 MalivaService::~MalivaService() = default;
 
-RewriterEnv MalivaService::MakeEnv(QueryTimeEstimator* qte, double beta,
+RewriterEnv MalivaService::MakeEnv(const QueryTimeEstimator* qte, double beta,
                                    const RewriteOptionSet* options) const {
   RewriterEnv renv;
   renv.engine = scenario_->engine.get();
@@ -40,14 +46,14 @@ RewriterEnv MalivaService::MakeEnv(QueryTimeEstimator* qte, double beta,
   renv.qte_params = qte_params_;
   renv.env_config.tau_ms = scenario_->config.tau_ms;
   renv.env_config.beta = beta;
-  if (beta < 1.0) renv.env_config.quality = quality_oracle_.get();
+  if (beta < 1.0) renv.env_config.quality = state_.quality_oracle.get();
   return renv;
 }
 
 Result<const QAgent*> MalivaService::TrainedAgent(const std::string& cache_key,
                                                   const RewriterEnv& renv) {
-  auto it = agents_.find(cache_key);
-  if (it != agents_.end()) return static_cast<const QAgent*>(it->second.get());
+  auto it = state_.agents.find(cache_key);
+  if (it != state_.agents.end()) return static_cast<const QAgent*>(it->second.get());
 
   if (config_.num_agent_seeds == 0) {
     return Status::FailedPrecondition(
@@ -83,56 +89,117 @@ Result<const QAgent*> MalivaService::TrainedAgent(const std::string& cache_key,
   }
   assert(best != nullptr);
   const QAgent* ptr = best.get();
-  agents_[cache_key] = std::move(best);
+  state_.agents[cache_key] = std::move(best);
   return ptr;
 }
 
 Result<const BaoQte*> MalivaService::TrainedBaoQte() {
-  if (bao_qte_ == nullptr) {
+  if (state_.bao_qte == nullptr) {
     if (scenario_->train.empty()) {
       return Status::FailedPrecondition(
           "cannot train Bao's QTE: scenario has no training split");
     }
     BaoTrainer trainer(scenario_->engine.get(), scenario_->oracle.get(),
                        &scenario_->options);
-    bao_qte_ = trainer.Train(scenario_->train, scenario_->config.seed ^ 0x62616f);
+    state_.bao_qte = trainer.Train(scenario_->train, scenario_->config.seed ^ 0x62616f);
   }
-  return static_cast<const BaoQte*>(bao_qte_.get());
+  return static_cast<const BaoQte*>(state_.bao_qte.get());
 }
 
 const RewriteOptionSet* MalivaService::InternOptionSet(RewriteOptionSet options) {
-  interned_options_.push_back(
+  state_.interned_options.push_back(
       std::make_unique<RewriteOptionSet>(std::move(options)));
-  return interned_options_.back().get();
+  return state_.interned_options.back().get();
 }
 
-Result<const Rewriter*> MalivaService::GetRewriter(const std::string& name) {
-  auto it = rewriters_.find(name);
-  if (it != rewriters_.end()) return static_cast<const Rewriter*>(it->second.get());
+void MalivaService::SetApproxRules(std::vector<ApproxRule> rules) {
+  // Exclusive with strategy builds, which read the rules mid-build.
+  std::unique_lock<std::shared_mutex> lock(state_mutex_);
+  config_.approx_rules = std::move(rules);
+}
 
-  Result<std::unique_ptr<Rewriter>> built = RewriterFactory::Global().Create(name, *this);
+Result<const Rewriter*> MalivaService::GetRewriter(const std::string& name) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(state_mutex_);
+    auto it = state_.rewriters.find(name);
+    if (it != state_.rewriters.end()) {
+      return static_cast<const Rewriter*>(it->second.get());
+    }
+  }
+
+  // Build phase: exclusive lock, double-checked. Builders mutate the serving
+  // state through the service hooks (TrainedAgent, InternOptionSet, ...),
+  // which is why they receive a non-const service — the cast below keeps the
+  // serving API const while the warm-up state grows under this lock.
+  std::unique_lock<std::shared_mutex> lock(state_mutex_);
+  auto it = state_.rewriters.find(name);
+  if (it != state_.rewriters.end()) {
+    return static_cast<const Rewriter*>(it->second.get());
+  }
+  Result<std::unique_ptr<Rewriter>> built =
+      RewriterFactory::Global().Create(name, const_cast<MalivaService&>(*this));
   if (!built.ok()) return built.status();
   std::unique_ptr<Rewriter> rewriter = std::move(built).value();
   const Rewriter* ptr = rewriter.get();
-  rewriters_[name] = std::move(rewriter);
+  state_.rewriters[name] = std::move(rewriter);
   return ptr;
 }
 
-std::vector<std::string> MalivaService::RegisteredStrategies() const {
-  return RewriterFactory::Global().Names();
+Status MalivaService::Warmup(std::span<const std::string> strategies) {
+  for (const std::string& name : strategies) {
+    Result<const Rewriter*> built = GetRewriter(name);
+    if (!built.ok()) return built.status();
+  }
+  return Status::OK();
 }
 
-Result<RewriteResponse> MalivaService::Serve(const RewriteRequest& request) {
+Status MalivaService::Warmup() {
+  for (const std::string& name : RewriterFactory::Global().KnownStrategies()) {
+    Result<const Rewriter*> built = GetRewriter(name);
+    if (built.ok()) continue;
+    // Strategies this configuration legitimately cannot build (e.g.
+    // "quality/*" without approximation rules) stay cold; requests naming
+    // them get this Status. Anything else — including InvalidArgument, which
+    // signals a misconfiguration the caller should hear about — fails the
+    // warm-up.
+    if (built.status().code() == Status::Code::kFailedPrecondition) continue;
+    return built.status();
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> MalivaService::RegisteredStrategies() const {
+  return RewriterFactory::Global().KnownStrategies();
+}
+
+namespace {
+
+/// Request validation: reject malformed inputs before touching any strategy.
+Status ValidateRequest(const RewriteRequest& request) {
   if (request.query == nullptr) {
     return Status::InvalidArgument("RewriteRequest.query must not be null");
   }
   if (request.tau_ms.has_value() && !(*request.tau_ms > 0.0)) {
-    return Status::InvalidArgument("per-request tau_ms must be positive");
+    return Status::InvalidArgument(
+        "per-request tau_ms must be positive (got non-positive or NaN)");
   }
   if (request.quality_floor.has_value() &&
-      (*request.quality_floor < 0.0 || *request.quality_floor > 1.0)) {
-    return Status::InvalidArgument("quality_floor must be within [0, 1]");
+      !(*request.quality_floor >= 0.0 && *request.quality_floor <= 1.0)) {
+    return Status::InvalidArgument(
+        "quality_floor must be within [0, 1] (got out-of-range or NaN)");
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<RewriteResponse> MalivaService::Serve(const RewriteRequest& request) const {
+  return ServeIndexed(request, 0);
+}
+
+Result<RewriteResponse> MalivaService::ServeIndexed(const RewriteRequest& request,
+                                                    uint64_t request_index) const {
+  MALIVA_RETURN_NOT_OK(ValidateRequest(request));
 
   const std::string& name =
       request.strategy.empty() ? config_.default_strategy : request.strategy;
@@ -140,11 +207,14 @@ Result<RewriteResponse> MalivaService::Serve(const RewriteRequest& request) {
   if (!rewriter.ok()) return rewriter.status();
   const Rewriter& strategy = *rewriter.value();
 
+  // All mutable per-request state lives here; the strategy objects stay
+  // shared-immutable across threads.
+  RewriteSession session(RewriteSession::SeedFor(session_seed_base_, request_index));
+  double tau = request.tau_ms.value_or(strategy.default_tau_ms());
+
   RewriteResponse resp;
   resp.strategy = name;
-  resp.outcome = request.tau_ms.has_value()
-                     ? strategy.RewriteWithBudget(*request.query, *request.tau_ms)
-                     : strategy.Rewrite(*request.query);
+  resp.outcome = strategy.RewriteForSession(*request.query, tau, session);
   resp.option = strategy.DecidedOption(resp.outcome);
 
   if (request.quality_floor.has_value() &&
@@ -155,18 +225,17 @@ Result<RewriteResponse> MalivaService::Serve(const RewriteRequest& request) {
     // same accounting the two-stage rewriter uses for its stage hand-off.
     Result<const Rewriter*> exact = GetRewriter("baseline");
     if (!exact.ok()) return exact.status();
-    double tau = request.tau_ms.value_or(strategy.default_tau_ms());
-    double spent_planning_ms = resp.outcome.planning_ms;
-    size_t spent_steps = resp.outcome.steps;
+    session.ChargeAbandonedAttempt(resp.outcome.planning_ms, resp.outcome.steps);
+    session.set_exact_fallback(true);
     resp.strategy = "baseline";
-    resp.outcome = exact.value()->RewriteWithBudget(*request.query, tau);
-    resp.outcome.planning_ms += spent_planning_ms;
-    resp.outcome.total_ms += spent_planning_ms;
-    resp.outcome.steps += spent_steps;
+    resp.outcome = exact.value()->RewriteForSession(*request.query, tau, session);
+    resp.outcome.planning_ms += session.abandoned_planning_ms();
+    resp.outcome.total_ms += session.abandoned_planning_ms();
+    resp.outcome.steps += session.abandoned_steps();
     resp.outcome.viable = resp.outcome.total_ms <= tau;
     resp.option = exact.value()->DecidedOption(resp.outcome);
-    resp.exact_fallback = true;
   }
+  resp.exact_fallback = session.exact_fallback();
 
   resp.rewritten_sql =
       resp.option != nullptr
@@ -175,22 +244,69 @@ Result<RewriteResponse> MalivaService::Serve(const RewriteRequest& request) {
   return resp;
 }
 
+size_t MalivaService::ResolvedNumThreads() const {
+  return config_.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                  : config_.num_threads;
+}
+
+ThreadPool& MalivaService::Pool() const {
+  // One pool per service, created on the first parallel batch and reused —
+  // per-call thread spawn/join would dominate the microsecond-scale planning
+  // work of small batches.
+  std::call_once(pool_once_,
+                 [this] { pool_ = std::make_unique<ThreadPool>(ResolvedNumThreads()); });
+  return *pool_;
+}
+
 std::vector<Result<RewriteResponse>> MalivaService::ServeBatch(
-    std::span<const RewriteRequest> requests) {
-  // Each strategy is built (and its agents trained) once, at its first valid
-  // request, and cached for the rest of the batch and the service's lifetime.
+    std::span<const RewriteRequest> requests) const {
+  // Build phase first: warm every strategy the batch names (plus the exact
+  // fallback when a quality floor may trigger it), in first-appearance
+  // order, so serve-phase workers never contend on the build lock. Training
+  // is seeded per agent key, so build order cannot change any result; build
+  // failures are not cached and re-surface per request below.
+  std::vector<std::string> needed;
+  auto want = [&needed](const std::string& name) {
+    for (const std::string& have : needed) {
+      if (have == name) return;
+    }
+    needed.push_back(name);
+  };
+  for (const RewriteRequest& request : requests) {
+    want(request.strategy.empty() ? config_.default_strategy : request.strategy);
+    if (request.quality_floor.has_value()) want("baseline");
+  }
+  for (const std::string& name : needed) {
+    (void)GetRewriter(name);  // failure handled per request
+  }
+
+  // Serve phase: fan out over the pool (or run inline when sequential).
+  // Responses land in their request's slot, so ordering is preserved no
+  // matter how threads interleave.
+  std::vector<std::optional<Result<RewriteResponse>>> slots(requests.size());
+  if (std::min(ResolvedNumThreads(), requests.size()) <= 1) {
+    for (size_t i = 0; i < requests.size(); ++i) {
+      slots[i] = ServeIndexed(requests[i], i);
+    }
+  } else {
+    Pool().ParallelFor(requests.size(), [this, &slots, &requests](size_t i) {
+      slots[i] = ServeIndexed(requests[i], i);
+    });
+  }
+
   std::vector<Result<RewriteResponse>> responses;
   responses.reserve(requests.size());
-  for (const RewriteRequest& request : requests) {
-    responses.push_back(Serve(request));
+  for (std::optional<Result<RewriteResponse>>& slot : slots) {
+    assert(slot.has_value());
+    responses.push_back(std::move(*slot));
   }
   return responses;
 }
 
 std::unique_ptr<QAgent> MalivaService::TrainAgentOn(
     const std::vector<const Query*>& workload, uint64_t seed,
-    std::vector<Trainer::IterationStats>* history) {
-  RewriterEnv renv = MakeEnv(accurate_qte_.get());
+    std::vector<Trainer::IterationStats>* history) const {
+  RewriterEnv renv = MakeEnv(state_.accurate_qte.get());
   TrainerConfig tc = config_.trainer;
   tc.seed = seed;
   Trainer trainer(renv, tc);
@@ -202,7 +318,7 @@ std::unique_ptr<QAgent> MalivaService::TrainAgentOn(
 double MalivaService::EvaluateAgentVqp(
     const QAgent& agent, const std::vector<const Query*>& workload) const {
   if (workload.empty()) return 0.0;
-  RewriterEnv renv = MakeEnv(accurate_qte_.get());
+  RewriterEnv renv = MakeEnv(state_.accurate_qte.get());
   size_t viable = 0;
   for (const Query* q : workload) {
     RewriteOutcome out = RunGreedyEpisode(renv, agent, *q);
@@ -219,7 +335,7 @@ namespace {
 
 /// Cheap pre-check mirroring TrainedAgent's failure conditions, so builders
 /// can bail out before interning option sets (failed builds are not cached;
-/// a retrying caller must not grow interned_options_ on every attempt).
+/// a retrying caller must not grow interned_options on every attempt).
 Status CanTrainAgents(MalivaService& s) {
   if (s.config().num_agent_seeds == 0) {
     return Status::FailedPrecondition("cannot train agents: num_agent_seeds is 0");

@@ -8,20 +8,29 @@
 //
 //   Scenario scenario = BuildScenario(cfg);
 //   MalivaService service(&scenario, ServiceConfig().WithAgentSeeds(1));
+//   service.Warmup({"mdp/accurate", "baseline"});   // optional: train now
 //   RewriteRequest req;
 //   req.query = scenario.evaluation[0];
-//   req.strategy = "mdp/accurate";          // trained lazily on first use
+//   req.strategy = "mdp/accurate";          // else trained lazily, first use
 //   Result<RewriteResponse> resp = service.Serve(req);
 //
-// ServeBatch serves a request vector with results identical to sequential
-// Serve calls; strategies (and their trained agents) are cached after first
-// use, sized for high-throughput evaluation.
+// Concurrency model (two-phase, see DESIGN.md "Concurrency model"):
+//   * build/train phase — Warmup (or the mutex-guarded first use of a
+//     strategy) populates an immutable ServingState: engine catalog, trained
+//     agents, Bao QTE, interned option sets. Published entries are frozen.
+//   * serve phase — Serve is const and data-race-free; every request runs in
+//     its own RewriteSession (selectivity caches, RNG, fallback accounting).
+//     ServeBatch fans requests out over ServiceConfig::num_threads workers
+//     with results byte-identical to sequential Serve calls in request
+//     order.
 
 #ifndef MALIVA_SERVICE_SERVICE_H_
 #define MALIVA_SERVICE_SERVICE_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -30,15 +39,13 @@
 
 #include "core/trainer.h"
 #include "service/rewriter_factory.h"
+#include "service/serving_state.h"
 #include "util/status.h"
 #include "workload/scenario.h"
 
 namespace maliva {
 
-class AccurateQte;
-class SamplingQte;
-class QualityOracle;
-class BaoQte;
+class ThreadPool;  // util/thread_pool.h; owned pool is created lazily
 
 /// Configuration of one MalivaService instance. Builder-style setters allow
 /// inline construction; every knob has a sensible default.
@@ -61,6 +68,9 @@ struct ServiceConfig {
   std::vector<ApproxRule> approx_rules;
   /// Strategy served when a request does not name one.
   std::string default_strategy = "mdp/accurate";
+  /// Worker threads for ServeBatch. 0 = hardware concurrency; 1 = the
+  /// sequential path. Results are byte-identical at every thread count.
+  size_t num_threads = 0;
 
   ServiceConfig& WithQte(QteParams params) {
     qte = params;
@@ -92,6 +102,10 @@ struct ServiceConfig {
   }
   ServiceConfig& WithDefaultStrategy(std::string name) {
     default_strategy = std::move(name);
+    return *this;
+  }
+  ServiceConfig& WithNumThreads(size_t threads) {
+    num_threads = threads;
     return *this;
   }
 };
@@ -126,8 +140,12 @@ struct RewriteResponse {
 };
 
 /// Owns the serving state for one scenario: QTEs, the quality oracle, interned
-/// option sets, trained agents, and lazily built strategies. `scenario` is
-/// borrowed and must outlive the service.
+/// option sets, trained agents, and built strategies (the shared-immutable
+/// ServingState). `scenario` is borrowed and must outlive the service.
+///
+/// Thread safety: Serve/ServeBatch/GetRewriter are const and safe to call
+/// concurrently. Strategy builds (Warmup or lazy first use) run under an
+/// exclusive internal lock; once a strategy is published it is immutable.
 class MalivaService {
  public:
   MalivaService(Scenario* scenario, ServiceConfig config);
@@ -136,17 +154,44 @@ class MalivaService {
   MalivaService(const MalivaService&) = delete;
   MalivaService& operator=(const MalivaService&) = delete;
 
+  /// Eagerly builds (training agents as needed) every named strategy, in
+  /// order, so later Serve calls never pay training latency or contend on
+  /// the build lock. Idempotent: already built strategies are no-ops. Fails
+  /// on the first strategy that cannot be built.
+  Status Warmup(std::span<const std::string> strategies);
+  Status Warmup(std::initializer_list<std::string> strategies) {
+    return Warmup(std::span<const std::string>(strategies.begin(), strategies.end()));
+  }
+
+  /// Warms every registered strategy. Strategies unavailable under this
+  /// configuration (FailedPrecondition, e.g. "quality/*" without
+  /// approx_rules) are skipped — each request naming one still gets that
+  /// Status from Serve. Any other build error (including InvalidArgument
+  /// misconfigurations) fails the warm-up.
+  Status Warmup();
+
   /// Serves one request. Errors (unknown strategy, invalid budget, missing
   /// approximation rules, ...) come back as Status, never as a crash.
-  Result<RewriteResponse> Serve(const RewriteRequest& request);
+  /// Thread-safe; all per-request mutable state lives in an internal
+  /// RewriteSession.
+  Result<RewriteResponse> Serve(const RewriteRequest& request) const;
 
-  /// Serves a batch. Strategies are built (and trained) once at their first
-  /// use and cached, so results are identical to sequential Serve calls.
+  /// Serves a batch over ServiceConfig::num_threads workers (1 = sequential
+  /// loop). Strategies the batch needs are built once up front. Determinism:
+  /// session RNG seeds derive from the request *index*, not from
+  /// shared-stream order, so responses are byte-identical across thread
+  /// counts (including the num_threads=1 sequential loop). For strategies
+  /// that draw nothing from the session RNG — all built-ins — they also
+  /// equal individual Serve calls in request order; a stochastic custom
+  /// strategy sees a different session seed per batch position (Serve always
+  /// uses index 0).
   std::vector<Result<RewriteResponse>> ServeBatch(
-      std::span<const RewriteRequest> requests);
+      std::span<const RewriteRequest> requests) const;
 
-  /// Builds (training agents if needed) and caches strategy `name`.
-  Result<const Rewriter*> GetRewriter(const std::string& name);
+  /// Returns (building and training on a miss, behind the exclusive build
+  /// lock) strategy `name`. The returned pointer is stable for the service's
+  /// lifetime.
+  Result<const Rewriter*> GetRewriter(const std::string& name) const;
 
   /// Strategy names registered in the global factory. A given instance may
   /// still fail to build some of them (e.g. "quality/*" without approx_rules
@@ -154,6 +199,7 @@ class MalivaService {
   std::vector<std::string> RegisteredStrategies() const;
 
   Scenario* scenario() { return scenario_; }
+  const Scenario* scenario() const { return scenario_; }
   const ServiceConfig& config() const { return config_; }
 
   /// Resolved QTE cost parameters (config override or scenario defaults,
@@ -162,58 +208,78 @@ class MalivaService {
 
   /// Replaces the approximation rules used by not-yet-built "quality/*"
   /// strategies (already built strategies are unaffected).
-  void SetApproxRules(std::vector<ApproxRule> rules) {
-    config_.approx_rules = std::move(rules);
-  }
+  void SetApproxRules(std::vector<ApproxRule> rules);
 
   // --- hooks for strategy builders (RewriterFactory) and harnesses ---------
+  //
+  // TrainedAgent, TrainedBaoQte, and InternOptionSet mutate the serving
+  // state and must only be called from a RewriterFactory builder — builders
+  // always run under the service's exclusive build lock. The read-only hooks
+  // (MakeEnv, the QTE accessors) are safe anywhere.
 
   /// Env wiring for core-level components: engine, oracle, option set,
   /// resolved QTE params, tau, and the quality oracle when beta < 1.
-  RewriterEnv MakeEnv(QueryTimeEstimator* qte, double beta = 1.0,
+  RewriterEnv MakeEnv(const QueryTimeEstimator* qte, double beta = 1.0,
                       const RewriteOptionSet* options = nullptr) const;
 
-  AccurateQte* accurate_qte() { return accurate_qte_.get(); }
-  SamplingQte* sampling_qte() { return sampling_qte_.get(); }
-  QualityOracle* quality_oracle() { return quality_oracle_.get(); }
+  const AccurateQte* accurate_qte() const { return state_.accurate_qte.get(); }
+  const SamplingQte* sampling_qte() const { return state_.sampling_qte.get(); }
+  const QualityOracle* quality_oracle() const { return state_.quality_oracle.get(); }
 
   /// Trains `num_agent_seeds` agents on the scenario's training split, keeps
   /// the best by validation VQP, and caches it under `cache_key` (strategies
   /// sharing a key share the agent — e.g. "mdp/accurate" and the two-stage
-  /// rewriter's exact stage).
+  /// rewriter's exact stage). Builder-only: requires the build lock.
   Result<const QAgent*> TrainedAgent(const std::string& cache_key,
                                      const RewriterEnv& renv);
 
   /// Trains (and caches) Bao's plan-feature QTE on the training split.
+  /// Builder-only: requires the build lock.
   Result<const BaoQte*> TrainedBaoQte();
 
   /// Takes ownership of an option set and returns a stable pointer (option
-  /// sets must outlive the rewriters built over them).
+  /// sets must outlive the rewriters built over them). Builder-only:
+  /// requires the build lock.
   const RewriteOptionSet* InternOptionSet(RewriteOptionSet options);
 
   /// Trains an MDP agent (accurate QTE) on an explicit workload and returns
-  /// per-iteration stats — the learning-curve experiment (Fig 21).
+  /// per-iteration stats — the learning-curve experiment (Fig 21). Does not
+  /// touch the serving state.
   std::unique_ptr<QAgent> TrainAgentOn(const std::vector<const Query*>& workload,
                                        uint64_t seed,
-                                       std::vector<Trainer::IterationStats>* history);
+                                       std::vector<Trainer::IterationStats>* history) const;
 
   /// Evaluates a trained agent's VQP over a workload (accurate QTE env).
   double EvaluateAgentVqp(const QAgent& agent,
                           const std::vector<const Query*>& workload) const;
 
  private:
+  /// Serve body; `request_index` seeds the per-request session RNG (0 for
+  /// single Serve calls, the batch position inside ServeBatch).
+  Result<RewriteResponse> ServeIndexed(const RewriteRequest& request,
+                                       uint64_t request_index) const;
+
+  /// num_threads with 0 resolved to hardware concurrency.
+  size_t ResolvedNumThreads() const;
+
+  /// The batch worker pool, created once on the first parallel ServeBatch
+  /// (so purely sequential services never spawn threads).
+  ThreadPool& Pool() const;
+
   Scenario* scenario_;
   ServiceConfig config_;
   QteParams qte_params_;
+  /// Base of per-request session seeds (mixed with the request index).
+  uint64_t session_seed_base_;
 
-  std::unique_ptr<AccurateQte> accurate_qte_;
-  std::unique_ptr<SamplingQte> sampling_qte_;
-  std::unique_ptr<QualityOracle> quality_oracle_;
-  std::unique_ptr<BaoQte> bao_qte_;
+  /// Guards mutation of `state_` (strategy builds, SetApproxRules). Reads
+  /// of published entries take the shared side; entries are never removed,
+  /// so pointers obtained under the lock stay valid without it.
+  mutable std::shared_mutex state_mutex_;
+  mutable ServingState state_;
 
-  std::unordered_map<std::string, std::unique_ptr<QAgent>> agents_;
-  std::vector<std::unique_ptr<RewriteOptionSet>> interned_options_;
-  std::unordered_map<std::string, std::unique_ptr<Rewriter>> rewriters_;
+  mutable std::once_flag pool_once_;
+  mutable std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace maliva

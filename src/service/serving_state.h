@@ -1,0 +1,61 @@
+// The shared-immutable half of the serving stack.
+//
+// MalivaService splits its world in two (see DESIGN.md, "Concurrency
+// model"): ServingState is the build/train-phase product — everything that
+// is expensive to construct and read-only at serve time — while each request
+// carries its own RewriteSession (core/rewrite_session.h) for mutable state.
+//
+// Population protocol: ServingState is only mutated while holding the
+// owning service's state mutex exclusively (MalivaService::Warmup, or the
+// lazy first-use path of GetRewriter). Entries are never removed or replaced
+// once published — node-based containers and unique_ptr indirection keep
+// every pointer handed out to a reader stable for the service's lifetime —
+// so after warm-up the whole structure is frozen and serving threads read it
+// without locks.
+
+#ifndef MALIVA_SERVICE_SERVING_STATE_H_
+#define MALIVA_SERVICE_SERVING_STATE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/bao.h"
+#include "core/agent.h"
+#include "core/rewriter.h"
+#include "qte/accurate_qte.h"
+#include "qte/sampling_qte.h"
+#include "quality/quality.h"
+
+namespace maliva {
+
+/// Immutable-after-warm-up serving state: QTEs, oracles, trained agents,
+/// interned option sets, and built strategies for one scenario.
+struct ServingState {
+  /// Stateless estimators (const Estimate; per-request state lives in the
+  /// session's SelectivityCache). Constructed with the service.
+  std::unique_ptr<AccurateQte> accurate_qte;
+  std::unique_ptr<SamplingQte> sampling_qte;
+
+  /// Memoizes quality evaluations behind its own lock; safe to share.
+  std::unique_ptr<QualityOracle> quality_oracle;
+
+  /// Bao's plan-feature QTE, trained once on first use of "bao".
+  std::unique_ptr<BaoQte> bao_qte;
+
+  /// Trained agents by role key ("agent/exact-accurate", ...). Strategies
+  /// sharing a key share the agent.
+  std::unordered_map<std::string, std::unique_ptr<QAgent>> agents;
+
+  /// Option sets owned on behalf of strategies built over them (rewriters
+  /// keep raw pointers into these).
+  std::vector<std::unique_ptr<RewriteOptionSet>> interned_options;
+
+  /// Built strategies by factory key. Never erased; pointers are stable.
+  std::unordered_map<std::string, std::unique_ptr<Rewriter>> rewriters;
+};
+
+}  // namespace maliva
+
+#endif  // MALIVA_SERVICE_SERVING_STATE_H_

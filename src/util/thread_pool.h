@@ -1,0 +1,120 @@
+// Minimal fixed-size thread pool for the serving path.
+//
+// MalivaService::ServeBatch fans requests out over a pool of workers; each
+// request is independent (per-request RewriteSession, shared-immutable
+// ServingState), so the pool needs no futures or task graphs — just Submit
+// and a blocking ParallelFor. Header-only; links against std::thread
+// (Threads::Threads in CMake).
+
+#ifndef MALIVA_UTIL_THREAD_POOL_H_
+#define MALIVA_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace maliva {
+
+/// Fixed set of worker threads draining a FIFO task queue. Destruction waits
+/// for every submitted task to finish.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads) {
+    if (num_threads == 0) num_threads = 1;
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Hardware concurrency with a floor of 1 (hardware_concurrency may
+  /// report 0 on exotic platforms).
+  static size_t DefaultThreads() {
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<size_t>(n);
+  }
+
+  /// Enqueues one task. Tasks must not throw.
+  void Submit(std::function<void()> task) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ++pending_;
+      queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+  }
+
+  /// Blocks until every task submitted so far has completed.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+  /// Runs fn(0..n-1), spreading indices over the workers, and blocks until
+  /// all calls return. Indices are claimed from a shared atomic counter, so
+  /// uneven per-index costs balance automatically.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+    if (n == 0) return;
+    auto next = std::make_shared<std::atomic<size_t>>(0);
+    size_t lanes = std::min(n, num_threads());
+    for (size_t lane = 0; lane < lanes; ++lane) {
+      Submit([next, n, &fn] {
+        for (size_t i = next->fetch_add(1); i < n; i = next->fetch_add(1)) {
+          fn(i);
+        }
+      });
+    }
+    Wait();
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (--pending_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace maliva
+
+#endif  // MALIVA_UTIL_THREAD_POOL_H_
