@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bao.cc" "CMakeFiles/maliva.dir/src/baselines/bao.cc.o" "gcc" "CMakeFiles/maliva.dir/src/baselines/bao.cc.o.d"
+  "/root/repo/src/baselines/baseline.cc" "CMakeFiles/maliva.dir/src/baselines/baseline.cc.o" "gcc" "CMakeFiles/maliva.dir/src/baselines/baseline.cc.o.d"
+  "/root/repo/src/core/agent.cc" "CMakeFiles/maliva.dir/src/core/agent.cc.o" "gcc" "CMakeFiles/maliva.dir/src/core/agent.cc.o.d"
+  "/root/repo/src/core/query_env.cc" "CMakeFiles/maliva.dir/src/core/query_env.cc.o" "gcc" "CMakeFiles/maliva.dir/src/core/query_env.cc.o.d"
+  "/root/repo/src/core/rewriter.cc" "CMakeFiles/maliva.dir/src/core/rewriter.cc.o" "gcc" "CMakeFiles/maliva.dir/src/core/rewriter.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "CMakeFiles/maliva.dir/src/core/trainer.cc.o" "gcc" "CMakeFiles/maliva.dir/src/core/trainer.cc.o.d"
+  "/root/repo/src/engine/cost_model.cc" "CMakeFiles/maliva.dir/src/engine/cost_model.cc.o" "gcc" "CMakeFiles/maliva.dir/src/engine/cost_model.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "CMakeFiles/maliva.dir/src/engine/engine.cc.o" "gcc" "CMakeFiles/maliva.dir/src/engine/engine.cc.o.d"
+  "/root/repo/src/engine/optimizer.cc" "CMakeFiles/maliva.dir/src/engine/optimizer.cc.o" "gcc" "CMakeFiles/maliva.dir/src/engine/optimizer.cc.o.d"
+  "/root/repo/src/engine/profile.cc" "CMakeFiles/maliva.dir/src/engine/profile.cc.o" "gcc" "CMakeFiles/maliva.dir/src/engine/profile.cc.o.d"
+  "/root/repo/src/engine/table_stats.cc" "CMakeFiles/maliva.dir/src/engine/table_stats.cc.o" "gcc" "CMakeFiles/maliva.dir/src/engine/table_stats.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "CMakeFiles/maliva.dir/src/harness/experiment.cc.o" "gcc" "CMakeFiles/maliva.dir/src/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/setup.cc" "CMakeFiles/maliva.dir/src/harness/setup.cc.o" "gcc" "CMakeFiles/maliva.dir/src/harness/setup.cc.o.d"
+  "/root/repo/src/index/btree_index.cc" "CMakeFiles/maliva.dir/src/index/btree_index.cc.o" "gcc" "CMakeFiles/maliva.dir/src/index/btree_index.cc.o.d"
+  "/root/repo/src/index/hash_index.cc" "CMakeFiles/maliva.dir/src/index/hash_index.cc.o" "gcc" "CMakeFiles/maliva.dir/src/index/hash_index.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "CMakeFiles/maliva.dir/src/index/inverted_index.cc.o" "gcc" "CMakeFiles/maliva.dir/src/index/inverted_index.cc.o.d"
+  "/root/repo/src/index/rowset.cc" "CMakeFiles/maliva.dir/src/index/rowset.cc.o" "gcc" "CMakeFiles/maliva.dir/src/index/rowset.cc.o.d"
+  "/root/repo/src/index/rtree_index.cc" "CMakeFiles/maliva.dir/src/index/rtree_index.cc.o" "gcc" "CMakeFiles/maliva.dir/src/index/rtree_index.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "CMakeFiles/maliva.dir/src/ml/mlp.cc.o" "gcc" "CMakeFiles/maliva.dir/src/ml/mlp.cc.o.d"
+  "/root/repo/src/ml/replay_buffer.cc" "CMakeFiles/maliva.dir/src/ml/replay_buffer.cc.o" "gcc" "CMakeFiles/maliva.dir/src/ml/replay_buffer.cc.o.d"
+  "/root/repo/src/qte/accurate_qte.cc" "CMakeFiles/maliva.dir/src/qte/accurate_qte.cc.o" "gcc" "CMakeFiles/maliva.dir/src/qte/accurate_qte.cc.o.d"
+  "/root/repo/src/qte/plan_time_oracle.cc" "CMakeFiles/maliva.dir/src/qte/plan_time_oracle.cc.o" "gcc" "CMakeFiles/maliva.dir/src/qte/plan_time_oracle.cc.o.d"
+  "/root/repo/src/qte/qte.cc" "CMakeFiles/maliva.dir/src/qte/qte.cc.o" "gcc" "CMakeFiles/maliva.dir/src/qte/qte.cc.o.d"
+  "/root/repo/src/qte/sampling_qte.cc" "CMakeFiles/maliva.dir/src/qte/sampling_qte.cc.o" "gcc" "CMakeFiles/maliva.dir/src/qte/sampling_qte.cc.o.d"
+  "/root/repo/src/quality/quality.cc" "CMakeFiles/maliva.dir/src/quality/quality.cc.o" "gcc" "CMakeFiles/maliva.dir/src/quality/quality.cc.o.d"
+  "/root/repo/src/query/hints.cc" "CMakeFiles/maliva.dir/src/query/hints.cc.o" "gcc" "CMakeFiles/maliva.dir/src/query/hints.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "CMakeFiles/maliva.dir/src/query/predicate.cc.o" "gcc" "CMakeFiles/maliva.dir/src/query/predicate.cc.o.d"
+  "/root/repo/src/query/query.cc" "CMakeFiles/maliva.dir/src/query/query.cc.o" "gcc" "CMakeFiles/maliva.dir/src/query/query.cc.o.d"
+  "/root/repo/src/service/rewriter_factory.cc" "CMakeFiles/maliva.dir/src/service/rewriter_factory.cc.o" "gcc" "CMakeFiles/maliva.dir/src/service/rewriter_factory.cc.o.d"
+  "/root/repo/src/service/service.cc" "CMakeFiles/maliva.dir/src/service/service.cc.o" "gcc" "CMakeFiles/maliva.dir/src/service/service.cc.o.d"
+  "/root/repo/src/storage/column.cc" "CMakeFiles/maliva.dir/src/storage/column.cc.o" "gcc" "CMakeFiles/maliva.dir/src/storage/column.cc.o.d"
+  "/root/repo/src/storage/table.cc" "CMakeFiles/maliva.dir/src/storage/table.cc.o" "gcc" "CMakeFiles/maliva.dir/src/storage/table.cc.o.d"
+  "/root/repo/src/storage/value.cc" "CMakeFiles/maliva.dir/src/storage/value.cc.o" "gcc" "CMakeFiles/maliva.dir/src/storage/value.cc.o.d"
+  "/root/repo/src/util/rng.cc" "CMakeFiles/maliva.dir/src/util/rng.cc.o" "gcc" "CMakeFiles/maliva.dir/src/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "CMakeFiles/maliva.dir/src/util/stats.cc.o" "gcc" "CMakeFiles/maliva.dir/src/util/stats.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "CMakeFiles/maliva.dir/src/util/string_util.cc.o" "gcc" "CMakeFiles/maliva.dir/src/util/string_util.cc.o.d"
+  "/root/repo/src/workload/difficulty.cc" "CMakeFiles/maliva.dir/src/workload/difficulty.cc.o" "gcc" "CMakeFiles/maliva.dir/src/workload/difficulty.cc.o.d"
+  "/root/repo/src/workload/query_gen.cc" "CMakeFiles/maliva.dir/src/workload/query_gen.cc.o" "gcc" "CMakeFiles/maliva.dir/src/workload/query_gen.cc.o.d"
+  "/root/repo/src/workload/scenario.cc" "CMakeFiles/maliva.dir/src/workload/scenario.cc.o" "gcc" "CMakeFiles/maliva.dir/src/workload/scenario.cc.o.d"
+  "/root/repo/src/workload/taxi.cc" "CMakeFiles/maliva.dir/src/workload/taxi.cc.o" "gcc" "CMakeFiles/maliva.dir/src/workload/taxi.cc.o.d"
+  "/root/repo/src/workload/tpch.cc" "CMakeFiles/maliva.dir/src/workload/tpch.cc.o" "gcc" "CMakeFiles/maliva.dir/src/workload/tpch.cc.o.d"
+  "/root/repo/src/workload/twitter.cc" "CMakeFiles/maliva.dir/src/workload/twitter.cc.o" "gcc" "CMakeFiles/maliva.dir/src/workload/twitter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

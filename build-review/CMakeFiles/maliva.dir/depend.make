@@ -1,0 +1,2 @@
+# Empty dependencies file for maliva.
+# This may be replaced when dependencies are built.

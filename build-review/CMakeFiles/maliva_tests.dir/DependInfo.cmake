@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cc" "CMakeFiles/maliva_tests.dir/tests/baselines_test.cc.o" "gcc" "CMakeFiles/maliva_tests.dir/tests/baselines_test.cc.o.d"
+  "/root/repo/tests/core_agent_test.cc" "CMakeFiles/maliva_tests.dir/tests/core_agent_test.cc.o" "gcc" "CMakeFiles/maliva_tests.dir/tests/core_agent_test.cc.o.d"
+  "/root/repo/tests/core_env_test.cc" "CMakeFiles/maliva_tests.dir/tests/core_env_test.cc.o" "gcc" "CMakeFiles/maliva_tests.dir/tests/core_env_test.cc.o.d"
+  "/root/repo/tests/core_rewriter_test.cc" "CMakeFiles/maliva_tests.dir/tests/core_rewriter_test.cc.o" "gcc" "CMakeFiles/maliva_tests.dir/tests/core_rewriter_test.cc.o.d"
+  "/root/repo/tests/core_trainer_test.cc" "CMakeFiles/maliva_tests.dir/tests/core_trainer_test.cc.o" "gcc" "CMakeFiles/maliva_tests.dir/tests/core_trainer_test.cc.o.d"
+  "/root/repo/tests/engine_approx_test.cc" "CMakeFiles/maliva_tests.dir/tests/engine_approx_test.cc.o" "gcc" "CMakeFiles/maliva_tests.dir/tests/engine_approx_test.cc.o.d"
+  "/root/repo/tests/engine_cost_test.cc" "CMakeFiles/maliva_tests.dir/tests/engine_cost_test.cc.o" "gcc" "CMakeFiles/maliva_tests.dir/tests/engine_cost_test.cc.o.d"
+  "/root/repo/tests/engine_exec_test.cc" "CMakeFiles/maliva_tests.dir/tests/engine_exec_test.cc.o" "gcc" "CMakeFiles/maliva_tests.dir/tests/engine_exec_test.cc.o.d"
+  "/root/repo/tests/engine_join_test.cc" "CMakeFiles/maliva_tests.dir/tests/engine_join_test.cc.o" "gcc" "CMakeFiles/maliva_tests.dir/tests/engine_join_test.cc.o.d"
+  "/root/repo/tests/engine_stats_test.cc" "CMakeFiles/maliva_tests.dir/tests/engine_stats_test.cc.o" "gcc" "CMakeFiles/maliva_tests.dir/tests/engine_stats_test.cc.o.d"
+  "/root/repo/tests/harness_test.cc" "CMakeFiles/maliva_tests.dir/tests/harness_test.cc.o" "gcc" "CMakeFiles/maliva_tests.dir/tests/harness_test.cc.o.d"
+  "/root/repo/tests/index_test.cc" "CMakeFiles/maliva_tests.dir/tests/index_test.cc.o" "gcc" "CMakeFiles/maliva_tests.dir/tests/index_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "CMakeFiles/maliva_tests.dir/tests/integration_test.cc.o" "gcc" "CMakeFiles/maliva_tests.dir/tests/integration_test.cc.o.d"
+  "/root/repo/tests/ml_test.cc" "CMakeFiles/maliva_tests.dir/tests/ml_test.cc.o" "gcc" "CMakeFiles/maliva_tests.dir/tests/ml_test.cc.o.d"
+  "/root/repo/tests/optimizer_test.cc" "CMakeFiles/maliva_tests.dir/tests/optimizer_test.cc.o" "gcc" "CMakeFiles/maliva_tests.dir/tests/optimizer_test.cc.o.d"
+  "/root/repo/tests/qte_test.cc" "CMakeFiles/maliva_tests.dir/tests/qte_test.cc.o" "gcc" "CMakeFiles/maliva_tests.dir/tests/qte_test.cc.o.d"
+  "/root/repo/tests/quality_test.cc" "CMakeFiles/maliva_tests.dir/tests/quality_test.cc.o" "gcc" "CMakeFiles/maliva_tests.dir/tests/quality_test.cc.o.d"
+  "/root/repo/tests/query_test.cc" "CMakeFiles/maliva_tests.dir/tests/query_test.cc.o" "gcc" "CMakeFiles/maliva_tests.dir/tests/query_test.cc.o.d"
+  "/root/repo/tests/service_concurrency_test.cc" "CMakeFiles/maliva_tests.dir/tests/service_concurrency_test.cc.o" "gcc" "CMakeFiles/maliva_tests.dir/tests/service_concurrency_test.cc.o.d"
+  "/root/repo/tests/service_test.cc" "CMakeFiles/maliva_tests.dir/tests/service_test.cc.o" "gcc" "CMakeFiles/maliva_tests.dir/tests/service_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "CMakeFiles/maliva_tests.dir/tests/storage_test.cc.o" "gcc" "CMakeFiles/maliva_tests.dir/tests/storage_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "CMakeFiles/maliva_tests.dir/tests/util_test.cc.o" "gcc" "CMakeFiles/maliva_tests.dir/tests/util_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "CMakeFiles/maliva_tests.dir/tests/workload_test.cc.o" "gcc" "CMakeFiles/maliva_tests.dir/tests/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/maliva.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
