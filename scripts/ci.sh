@@ -7,15 +7,19 @@
 #   scripts/ci.sh          # regular build + full test suite
 #   scripts/ci.sh --tsan   # additionally: ThreadSanitizer build (build-tsan/)
 #                          # running the service/concurrency suites
+#   scripts/ci.sh --asan   # additionally: AddressSanitizer build (build-asan/)
+#                          # running the same suites (store stress included)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_tsan=0
+run_asan=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) run_tsan=1 ;;
-    *) echo "unknown option: $arg (supported: --tsan)" >&2; exit 2 ;;
+    --asan) run_asan=1 ;;
+    *) echo "unknown option: $arg (supported: --tsan, --asan)" >&2; exit 2 ;;
   esac
 done
 
@@ -23,16 +27,31 @@ cmake -B build -S . -DMALIVA_SERVICE_WERROR=ON
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
+# Both sanitizer legs run the service + concurrency suites (which include
+# the SharedSelectivityStore stress test) — training-heavy suites are slow
+# under sanitizers and exercise no additional threading or ownership.
+sanitizer_suites='Service|Concurrency'
+
 if [[ "$run_tsan" == 1 ]]; then
   # TSan pass over the concurrent serving core: parallel ServeBatch, lazy
-  # strategy builds, and the memoized oracles. Scoped to the service and
-  # concurrency suites — training-heavy suites are slow under TSan and
-  # exercise no additional threading.
+  # strategy builds, the memoized oracles, and the sharded shared store.
   cmake -B build-tsan -S . -DMALIVA_TSAN=ON \
     -DMALIVA_BUILD_BENCHES=OFF -DMALIVA_BUILD_EXAMPLES=OFF \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j"$(nproc)" --target maliva_tests
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-      -R 'Service|Concurrency'
+      -R "$sanitizer_suites"
+fi
+
+if [[ "$run_asan" == 1 ]]; then
+  # ASan pass over the same suites: store eviction/epoch churn, session
+  # cache ownership, interned option sets.
+  cmake -B build-asan -S . -DMALIVA_ASAN=ON \
+    -DMALIVA_BUILD_BENCHES=OFF -DMALIVA_BUILD_EXAMPLES=OFF \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j"$(nproc)" --target maliva_tests
+  ASAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
+      -R "$sanitizer_suites"
 fi

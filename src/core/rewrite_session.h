@@ -13,15 +13,21 @@
 //   * a deterministic RNG seeded from the request *index* (not from a shared
 //     stream), so batch results are independent of thread interleaving;
 //   * the multi-attempt accounting used by the quality-floor fallback (the
-//     first attempt's planning time stays on the final bill).
+//     first attempt's planning time stays on the final bill);
+//   * the request's binding to the cross-request knowledge plane: when the
+//     service attaches a SharedSelectivityStore, episode caches are
+//     pre-seeded with the selectivities earlier requests already collected.
 
 #ifndef MALIVA_CORE_REWRITE_SESSION_H_
 #define MALIVA_CORE_REWRITE_SESSION_H_
 
 #include <cstdint>
 #include <deque>
+#include <optional>
+#include <vector>
 
 #include "qte/selectivity_cache.h"
+#include "qte/shared_selectivity_store.h"
 #include "util/rng.h"
 
 namespace maliva {
@@ -50,14 +56,52 @@ class RewriteSession {
   /// use this (and only this) source so batch serving stays reproducible.
   Rng& rng() { return rng_; }
 
+  /// Attaches the cross-request knowledge plane for this request: caches
+  /// allocated after this call are pre-seeded from `store` (slot `i` keyed
+  /// by `slot_keys[i]`, entries valid under `epoch`). Seeded slots read as
+  /// already collected, so the QTE cost accounting (PredictCostMs /
+  /// CollectCostMs) charges nothing for them — shared hits are free exactly
+  /// like intra-request hits, the paper's Fig 7 mechanism fleet-wide. Both
+  /// pointers are borrowed and must outlive the session.
+  void BindSharedStore(const SharedSelectivityStore* store,
+                       const std::vector<uint64_t>* slot_keys, uint64_t epoch) {
+    store_ = store;
+    slot_keys_ = slot_keys;
+    epoch_ = epoch;
+  }
+
   /// Allocates a selectivity cache for one planning episode. References stay
   /// valid for the session's lifetime (deque storage), so a multi-stage
-  /// rewriter can resume an earlier stage's collected selectivities.
+  /// rewriter can resume an earlier stage's collected selectivities. With a
+  /// shared store bound (and slot keys matching the slot count), the cache
+  /// starts pre-seeded with the store's knowledge instead of cold.
   SelectivityCache& NewCache(size_t num_slots) {
-    return caches_.emplace_back(num_slots);
+    SelectivityCache& cache = caches_.emplace_back(num_slots);
+    if (store_ != nullptr && slot_keys_ != nullptr &&
+        slot_keys_->size() == num_slots) {
+      for (size_t slot = 0; slot < num_slots; ++slot) {
+        std::optional<double> sel = store_->Lookup((*slot_keys_)[slot], epoch_);
+        if (sel.has_value()) {
+          cache.Set(slot, *sel);
+          ++shared_seeded_;
+        }
+      }
+    }
+    return cache;
   }
 
   size_t num_caches() const { return caches_.size(); }
+
+  /// Episode caches allocated so far (the service walks these after serving
+  /// to publish newly collected selectivities back to the shared store).
+  const std::deque<SelectivityCache>& caches() const { return caches_; }
+
+  /// Slots pre-seeded from the shared store, summed across caches — the
+  /// request's "shared hits". Counted per episode cache deliberately: each
+  /// seeding saves that episode one collection, so a multi-cache strategy
+  /// that would have re-collected a slot per episode counts the saving per
+  /// episode too.
+  size_t shared_seeded() const { return shared_seeded_; }
 
   // --- multi-attempt accounting (quality-floor fallback) -------------------
 
@@ -77,6 +121,10 @@ class RewriteSession {
  private:
   Rng rng_;
   std::deque<SelectivityCache> caches_;
+  const SharedSelectivityStore* store_ = nullptr;
+  const std::vector<uint64_t>* slot_keys_ = nullptr;
+  uint64_t epoch_ = 0;
+  size_t shared_seeded_ = 0;
   double abandoned_planning_ms_ = 0.0;
   size_t abandoned_steps_ = 0;
   bool exact_fallback_ = false;

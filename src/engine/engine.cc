@@ -109,6 +109,10 @@ Status Engine::RegisterTable(std::unique_ptr<Table> table,
   }
   entry.stats = std::make_unique<TableStats>(*entry.table, TableStats::Options{});
   catalog_.emplace(std::move(name), std::move(entry));
+  // Stats ground truth changed: stale cross-request knowledge. Release pairs
+  // with the acquire in catalog_version() so readers that observe the bump
+  // also observe the new entry.
+  catalog_version_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 

@@ -7,6 +7,7 @@
 #ifndef MALIVA_ENGINE_ENGINE_H_
 #define MALIVA_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -85,6 +86,19 @@ class Engine {
   /// used to translate LIMIT fractions into row counts.
   double EstimateOutputCardinality(const Query& q) const;
 
+  /// Version of the statistics ground truth: bumped whenever the catalog
+  /// gains a table or sample tables (i.e. whenever previously collected
+  /// selectivities could go stale). The serving layer tags cross-request
+  /// selectivity knowledge with this value so a stats refresh invalidates it
+  /// cleanly (see qte/shared_selectivity_store.h). The counter is atomic so
+  /// in-flight requests may read it while a refresh publishes a bump;
+  /// structural catalog mutation itself (RegisterTable/BuildSampleTables)
+  /// still requires that no concurrent query executes against the tables
+  /// being (re)built.
+  uint64_t catalog_version() const {
+    return catalog_version_.load(std::memory_order_acquire);
+  }
+
   const EngineProfile& profile() const { return profile_; }
   const CostModel& cost_model() const { return cost_model_; }
   /// The optimizer's miscalibrated cost model (see EngineProfile's planner
@@ -100,6 +114,7 @@ class Engine {
   CostModel cost_model_;
   CostModel planner_cost_model_;
   uint64_t seed_;
+  std::atomic<uint64_t> catalog_version_{0};
   std::unordered_map<std::string, TableEntry> catalog_;
   std::unique_ptr<Optimizer> optimizer_;
 };

@@ -1,0 +1,82 @@
+// Query canonicalization and signatures for the cross-request knowledge plane.
+//
+// Two visualization requests rarely arrive as pointer-identical Query
+// objects: dashboards refresh, users pan and zoom, ids differ. What they
+// *share* is predicate semantics — the same table/column/type with the same
+// (or nearly the same) literals. This module normalizes a Query into
+//
+//   * a stable 64-bit QuerySignature, invariant under predicate permutation,
+//     query ids, and output/presentation fields ("hint stripping"); and
+//   * one 64-bit slot key per selectivity slot (base predicates in query
+//     order, then join right-side predicates — the exact slot layout of
+//     SelectivityCache), each a pure function of (table, predicate).
+//
+// Slot keys are what make selectivity knowledge survive across requests: a
+// SharedSelectivityStore (qte/shared_selectivity_store.h) keyed by slot key
+// lets any request that touches a predicate reuse the selectivity an earlier
+// request collected for it — the paper's Fig 7 amortization, fleet-wide.
+//
+// Literal binning. Literals are quantized before hashing so that requests
+// whose predicates differ only by sub-bin jitter (a pan of less than one
+// grid cell, float noise from a frontend round-trip) map to the same slot
+// key and share collected selectivities. Grids scale with each literal's
+// *own extent*, never with its absolute magnitude: a range's low bound
+// snaps to cells of ~extent/bins (so a minute window at epoch-second
+// magnitudes still resolves minute-scale pans), extents themselves use
+// relative (mantissa) binning, and spatial box corners snap to cells of an
+// extent-sized power-of-two tile via engine/binning.h. The granularity knob
+// trades sharing for estimation fidelity: coarser bins conflate more
+// nearly-identical literals. Identical literals always share keys at any
+// granularity.
+
+#ifndef MALIVA_QUERY_SIGNATURE_H_
+#define MALIVA_QUERY_SIGNATURE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+
+namespace maliva {
+
+/// Canonicalization knobs shared by every request of one service instance.
+struct SignatureOptions {
+  /// Literal quantization granularity: anchor grids resolve ~extent/bins
+  /// per cell (ranges and spatial corners alike), extents bin at ~1/(2*bins)
+  /// relative resolution. Must be >= 1; higher = finer = less cross-request
+  /// sharing but lower estimation drift.
+  int literal_bins = 65536;
+};
+
+/// Stable 64-bit identity of a canonicalized query.
+struct QuerySignature {
+  uint64_t value = 0;
+
+  bool operator==(const QuerySignature& o) const { return value == o.value; }
+  bool operator!=(const QuerySignature& o) const { return value != o.value; }
+};
+
+/// Canonical form of one query: its signature plus per-slot keys, indexed
+/// exactly like the query's SelectivityCache slots (base predicates first,
+/// then join right-side predicates).
+struct CanonicalQuery {
+  QuerySignature signature;
+  std::vector<uint64_t> slot_keys;
+};
+
+/// Key of one predicate's selectivity slot: a pure function of the target
+/// table, the predicate's column/type, and its binned literals. Independent
+/// of the surrounding query, so distinct queries sharing a predicate share
+/// the key.
+uint64_t PredicateSlotKey(const std::string& table, const Predicate& pred,
+                          const SignatureOptions& opts = {});
+
+/// Canonicalizes `query`: slot keys in slot order, and a signature built
+/// from the *sorted* key multiset (plus table and join shape), so predicate
+/// permutations, query ids, and output fields do not change it.
+CanonicalQuery Canonicalize(const Query& query, const SignatureOptions& opts = {});
+
+}  // namespace maliva
+
+#endif  // MALIVA_QUERY_SIGNATURE_H_

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <cmath>
 #include <mutex>
+#include <string>
 #include <utility>
 
 #include "baselines/bao.h"
@@ -14,6 +17,45 @@
 #include "util/thread_pool.h"
 
 namespace maliva {
+
+Status ServiceConfig::Validate() const {
+  // One chokepoint for configuration pathologies: reject with
+  // InvalidArgument instead of clamping, so misconfigurations surface at the
+  // first Serve/Warmup call rather than silently changing behaviour.
+  if (num_threads > kMaxNumThreads) {
+    return Status::InvalidArgument(
+        "num_threads must be <= " + std::to_string(kMaxNumThreads) + " (got " +
+        std::to_string(num_threads) + "; likely an unsigned wrap-around)");
+  }
+  if (!(bao_per_plan_cost_ms >= 0.0) || !std::isfinite(bao_per_plan_cost_ms)) {
+    return Status::InvalidArgument(
+        "bao_per_plan_cost_ms must be finite and non-negative");
+  }
+  if (!(beta >= 0.0 && beta <= 1.0)) {
+    return Status::InvalidArgument("beta must be within [0, 1] (Eq 2 weight)");
+  }
+  if (cross_request_cache) {
+    if (shared_store_capacity == 0) {
+      return Status::InvalidArgument(
+          "cross_request_cache requires shared_store_capacity > 0");
+    }
+    if (shared_store_shards == 0) {
+      return Status::InvalidArgument(
+          "cross_request_cache requires shared_store_shards > 0");
+    }
+    if (shared_store_shards > shared_store_capacity) {
+      return Status::InvalidArgument(
+          "shared_store_shards (" + std::to_string(shared_store_shards) +
+          ") must not exceed shared_store_capacity (" +
+          std::to_string(shared_store_capacity) + ")");
+    }
+    if (signature_literal_bins < 1) {
+      return Status::InvalidArgument(
+          "cross_request_cache requires signature_literal_bins >= 1");
+    }
+  }
+  return Status::OK();
+}
 
 MalivaService::MalivaService(Scenario* scenario, ServiceConfig config)
     : scenario_(scenario), config_(std::move(config)) {
@@ -32,6 +74,15 @@ MalivaService::MalivaService(Scenario* scenario, ServiceConfig config)
   state_.accurate_qte = std::make_unique<AccurateQte>();
   state_.sampling_qte = std::make_unique<SamplingQte>();
   state_.quality_oracle = std::make_unique<QualityOracle>(scenario_->engine.get());
+
+  config_status_ = config_.Validate();
+  signature_options_.literal_bins = config_.signature_literal_bins;
+  if (config_status_.ok() && config_.cross_request_cache) {
+    SharedSelectivityStore::Config store_config;
+    store_config.capacity = config_.shared_store_capacity;
+    store_config.shards = config_.shared_store_shards;
+    state_.shared_store = std::make_unique<SharedSelectivityStore>(store_config);
+  }
 }
 
 MalivaService::~MalivaService() = default;
@@ -119,6 +170,7 @@ void MalivaService::SetApproxRules(std::vector<ApproxRule> rules) {
 }
 
 Result<const Rewriter*> MalivaService::GetRewriter(const std::string& name) const {
+  MALIVA_RETURN_NOT_OK(config_status_);
   {
     std::shared_lock<std::shared_mutex> lock(state_mutex_);
     auto it = state_.rewriters.find(name);
@@ -199,6 +251,29 @@ Result<RewriteResponse> MalivaService::Serve(const RewriteRequest& request) cons
 
 Result<RewriteResponse> MalivaService::ServeIndexed(const RewriteRequest& request,
                                                     uint64_t request_index) const {
+  // Telemetry wrapper: time the request on the host wall clock (the one
+  // quantity virtual time cannot provide) and fold its accounting into the
+  // service counters, errors included.
+  auto wall_start = std::chrono::steady_clock::now();
+  Result<RewriteResponse> result = ServeImpl(request, request_index);
+  double wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+  if (result.ok()) {
+    RewriteResponse& resp = result.value();
+    resp.stats.serve_wall_ms = wall_ms;
+    telemetry_.RecordServed(resp.stats.selectivities_collected,
+                            resp.stats.shared_hits, resp.stats.shared_published,
+                            resp.exact_fallback, wall_ms);
+  } else {
+    telemetry_.RecordError(wall_ms);
+  }
+  return result;
+}
+
+Result<RewriteResponse> MalivaService::ServeImpl(const RewriteRequest& request,
+                                                 uint64_t request_index) const {
+  MALIVA_RETURN_NOT_OK(config_status_);
   MALIVA_RETURN_NOT_OK(ValidateRequest(request));
 
   const std::string& name =
@@ -211,6 +286,19 @@ Result<RewriteResponse> MalivaService::ServeIndexed(const RewriteRequest& reques
   // shared-immutable across threads.
   RewriteSession session(RewriteSession::SeedFor(session_seed_base_, request_index));
   double tau = request.tau_ms.value_or(strategy.default_tau_ms());
+
+  // Knowledge plane: canonicalize the query and bind the shared store so the
+  // session's episode caches start pre-seeded with the selectivities earlier
+  // requests collected. The epoch pins the store's entries to the current
+  // statistics ground truth (catalog changes read as a cold store).
+  SharedSelectivityStore* store = state_.shared_store.get();
+  CanonicalQuery canonical;
+  uint64_t epoch = 0;
+  if (store != nullptr) {
+    canonical = Canonicalize(*request.query, signature_options_);
+    epoch = scenario_->engine->catalog_version();
+    session.BindSharedStore(store, &canonical.slot_keys, epoch);
+  }
 
   RewriteResponse resp;
   resp.strategy = name;
@@ -237,11 +325,46 @@ Result<RewriteResponse> MalivaService::ServeIndexed(const RewriteRequest& reques
   }
   resp.exact_fallback = session.exact_fallback();
 
+  // Knowledge-plane accounting: shared hits were pre-seeded into the
+  // session's caches, everything else collected there was paid for by this
+  // request and is published back for the fleet. Publish is first-writer-
+  // wins, so re-publishing seeded slots is a no-op and does not count.
+  size_t total_collected = 0;
+  for (const SelectivityCache& cache : session.caches()) {
+    total_collected += cache.NumCollected();
+  }
+  resp.stats.shared_hits = session.shared_seeded();
+  resp.stats.selectivities_collected =
+      total_collected - std::min(total_collected, session.shared_seeded());
+  if (store != nullptr) {
+    for (const SelectivityCache& cache : session.caches()) {
+      if (cache.num_slots() != canonical.slot_keys.size()) continue;
+      for (size_t slot = 0; slot < cache.num_slots(); ++slot) {
+        if (!cache.Has(slot)) continue;
+        if (store->Publish(canonical.slot_keys[slot], epoch, cache.Get(slot))) {
+          ++resp.stats.shared_published;
+        }
+      }
+    }
+  }
+
   resp.rewritten_sql =
       resp.option != nullptr
           ? RewrittenQuery{request.query, *resp.option}.ToString()
           : request.query->ToString();
   return resp;
+}
+
+ServiceStats MalivaService::Stats() const {
+  ServiceStats stats = telemetry_.Snapshot();
+  // store_* fields stay identically zero while the plane is off (the
+  // documented ServiceStats contract).
+  if (state_.shared_store != nullptr) {
+    stats.store_size = state_.shared_store->Size();
+    stats.store_evictions = state_.shared_store->Evictions();
+    stats.store_epoch = scenario_->engine->catalog_version();
+  }
+  return stats;
 }
 
 size_t MalivaService::ResolvedNumThreads() const {

@@ -23,6 +23,12 @@
 //     ServeBatch fans requests out over ServiceConfig::num_threads workers
 //     with results byte-identical to sequential Serve calls in request
 //     order.
+//   * knowledge plane (optional, ServiceConfig::cross_request_cache) — an
+//     internally synchronized SharedSelectivityStore lets requests reuse the
+//     selectivities earlier requests collected (canonicalized slot keys,
+//     epoch-tagged to the engine catalog version). With it on, determinism
+//     is per-request given a fixed store snapshot; off preserves the
+//     byte-identical-at-any-thread-count contract above.
 
 #ifndef MALIVA_SERVICE_SERVICE_H_
 #define MALIVA_SERVICE_SERVICE_H_
@@ -38,8 +44,10 @@
 #include <vector>
 
 #include "core/trainer.h"
+#include "query/signature.h"
 #include "service/rewriter_factory.h"
 #include "service/serving_state.h"
+#include "service/serving_telemetry.h"
 #include "util/status.h"
 #include "workload/scenario.h"
 
@@ -70,7 +78,38 @@ struct ServiceConfig {
   std::string default_strategy = "mdp/accurate";
   /// Worker threads for ServeBatch. 0 = hardware concurrency; 1 = the
   /// sequential path. Results are byte-identical at every thread count.
+  /// Validate() rejects values above kMaxNumThreads (catches unsigned
+  /// wrap-arounds like size_t(-1)).
   size_t num_threads = 0;
+
+  /// Cross-request knowledge plane (DESIGN.md "Cross-request knowledge
+  /// plane"). Off (default): every request starts with cold selectivity
+  /// caches and ServeBatch results stay byte-identical at every thread
+  /// count. On: requests read selectivities earlier requests collected from
+  /// a SharedSelectivityStore and publish their own; each request is
+  /// deterministic given a fixed store snapshot, but batch results may
+  /// depend on request completion order (who publishes first).
+  bool cross_request_cache = false;
+  /// Shared store entry capacity (FIFO eviction). Must be > 0 when the
+  /// cache is on.
+  size_t shared_store_capacity = 1u << 20;
+  /// Shared store lock shards. Must be > 0 and <= capacity when the cache
+  /// is on.
+  size_t shared_store_shards = 16;
+  /// Literal-binning granularity of query canonicalization
+  /// (SignatureOptions::literal_bins). Must be >= 1 when the cache is on.
+  int signature_literal_bins = SignatureOptions{}.literal_bins;
+
+  /// Upper bound Validate() accepts for num_threads.
+  static constexpr size_t kMaxNumThreads = 4096;
+
+  /// Rejects misconfigurations with InvalidArgument instead of silently
+  /// clamping: num_threads pathologies (> kMaxNumThreads), non-finite or
+  /// negative cost/reward knobs, and — when cross_request_cache is on —
+  /// zero capacities, zero shards, shards exceeding capacity, and
+  /// non-positive literal bins. Checked once at service construction; a
+  /// failing config turns every Serve/Warmup call into this error.
+  Status Validate() const;
 
   ServiceConfig& WithQte(QteParams params) {
     qte = params;
@@ -108,6 +147,22 @@ struct ServiceConfig {
     num_threads = threads;
     return *this;
   }
+  ServiceConfig& WithCrossRequestCache(bool enabled) {
+    cross_request_cache = enabled;
+    return *this;
+  }
+  ServiceConfig& WithSharedStoreCapacity(size_t capacity) {
+    shared_store_capacity = capacity;
+    return *this;
+  }
+  ServiceConfig& WithSharedStoreShards(size_t shards) {
+    shared_store_shards = shards;
+    return *this;
+  }
+  ServiceConfig& WithSignatureLiteralBins(int bins) {
+    signature_literal_bins = bins;
+    return *this;
+  }
 };
 
 /// One rewriting request.
@@ -124,6 +179,24 @@ struct RewriteRequest {
   std::optional<double> quality_floor;
 };
 
+/// Per-request serving telemetry carried on the response. The counters are
+/// deterministic given the shared-store snapshot the request saw;
+/// selectivities_collected is populated in every mode (it is the request's
+/// full bill when cross_request_cache is off), while the shared_* fields
+/// are identically zero with the plane off. serve_wall_ms is host
+/// wall-clock time — the one non-virtual, run-varying number — and is
+/// excluded from byte-identity guarantees.
+struct RequestStats {
+  /// Selectivity slots this request collected (and paid for) itself.
+  size_t selectivities_collected = 0;
+  /// Slots pre-seeded free from the shared store.
+  size_t shared_hits = 0;
+  /// New entries this request contributed to the shared store.
+  size_t shared_published = 0;
+  /// Host wall-clock serving latency, milliseconds.
+  double serve_wall_ms = 0.0;
+};
+
 /// One rewriting response.
 struct RewriteResponse {
   /// Strategy that served the request (factory key, not display name); this
@@ -137,6 +210,8 @@ struct RewriteResponse {
   std::string rewritten_sql;
   /// True when quality_floor forced the exact-baseline fallback.
   bool exact_fallback = false;
+  /// Per-request serving telemetry (selectivity accounting, wall latency).
+  RequestStats stats;
 };
 
 /// Owns the serving state for one scenario: QTEs, the quality oracle, interned
@@ -198,6 +273,12 @@ class MalivaService {
   /// configured) — Serve reports that per request as a Status.
   std::vector<std::string> RegisteredStrategies() const;
 
+  /// Snapshot of the serving counters (requests, errors, fallbacks, shared
+  /// hits vs local collections, wall latency) plus the shared store's size,
+  /// evictions, and current epoch. Thread-safe; each counter is individually
+  /// exact, the snapshot is not a single atomic cut.
+  ServiceStats Stats() const;
+
   Scenario* scenario() { return scenario_; }
   const Scenario* scenario() const { return scenario_; }
   const ServiceConfig& config() const { return config_; }
@@ -255,9 +336,13 @@ class MalivaService {
 
  private:
   /// Serve body; `request_index` seeds the per-request session RNG (0 for
-  /// single Serve calls, the batch position inside ServeBatch).
+  /// single Serve calls, the batch position inside ServeBatch). Wraps
+  /// ServeImpl with wall-clock timing and telemetry accounting.
   Result<RewriteResponse> ServeIndexed(const RewriteRequest& request,
                                        uint64_t request_index) const;
+
+  Result<RewriteResponse> ServeImpl(const RewriteRequest& request,
+                                    uint64_t request_index) const;
 
   /// num_threads with 0 resolved to hardware concurrency.
   size_t ResolvedNumThreads() const;
@@ -268,9 +353,17 @@ class MalivaService {
 
   Scenario* scenario_;
   ServiceConfig config_;
+  /// ServiceConfig::Validate() outcome, computed once at construction;
+  /// surfaced by Serve/Warmup/GetRewriter instead of silently clamping.
+  Status config_status_;
   QteParams qte_params_;
   /// Base of per-request session seeds (mixed with the request index).
   uint64_t session_seed_base_;
+  /// Canonicalization options derived from the config (knowledge plane).
+  SignatureOptions signature_options_;
+
+  /// Serving counters behind Stats(); internally atomic.
+  mutable ServingTelemetry telemetry_;
 
   /// Guards mutation of `state_` (strategy builds, SetApproxRules). Reads
   /// of published entries take the shared side; entries are never removed,

@@ -26,6 +26,7 @@
 #include "core/rewriter.h"
 #include "qte/accurate_qte.h"
 #include "qte/sampling_qte.h"
+#include "qte/shared_selectivity_store.h"
 #include "quality/quality.h"
 
 namespace maliva {
@@ -54,6 +55,13 @@ struct ServingState {
 
   /// Built strategies by factory key. Never erased; pointers are stable.
   std::unordered_map<std::string, std::unique_ptr<Rewriter>> rewriters;
+
+  /// Cross-request selectivity knowledge (null while
+  /// ServiceConfig::cross_request_cache is off). The one exception to the
+  /// frozen-after-warm-up rule: serving threads publish into it, but it is
+  /// internally synchronized (sharded shared_mutex), so the exception does
+  /// not leak into the locking protocol above.
+  std::unique_ptr<SharedSelectivityStore> shared_store;
 };
 
 }  // namespace maliva

@@ -1,0 +1,99 @@
+// Serving telemetry: fleet-level counters for the cross-request knowledge
+// plane and the serve path.
+//
+// Every Serve/ServeBatch request folds its per-request accounting (shared
+// hits vs local selectivity collections, quality-floor fallbacks, wall-clock
+// latency) into one ServingTelemetry owned by the service; benches and
+// operators read consistent-enough snapshots through MalivaService::Stats().
+// Counters are independent relaxed atomics — cheap on the hot path; a
+// snapshot is not a single atomic cut across counters, which is fine for
+// monitoring (each counter is individually exact).
+//
+// Note the two time axes: everything in RewriteOutcome is deterministic
+// *virtual* time (DESIGN.md "Virtual time"); serve latency here is host
+// wall-clock time, the one quantity that must be measured, not modeled.
+
+#ifndef MALIVA_SERVICE_SERVING_TELEMETRY_H_
+#define MALIVA_SERVICE_SERVING_TELEMETRY_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace maliva {
+
+/// One consistent-enough snapshot of the service's serving counters.
+struct ServiceStats {
+  uint64_t requests = 0;         ///< Serve calls (batch members included)
+  uint64_t errors = 0;           ///< requests answered with a non-OK Status
+  uint64_t exact_fallbacks = 0;  ///< quality-floor fallbacks to "baseline"
+
+  // Knowledge plane. selectivities_collected is meaningful in every mode
+  // (with cross_request_cache off it is simply each request's full bill);
+  // the shared_* and store_* fields are identically zero while the plane
+  // is off.
+  uint64_t selectivities_collected = 0;  ///< slots paid for by requests
+  uint64_t shared_hits = 0;              ///< slots served free from the store
+  uint64_t shared_published = 0;         ///< new entries contributed
+  uint64_t store_size = 0;               ///< resident entries at snapshot time
+  uint64_t store_evictions = 0;          ///< FIFO evictions so far
+  uint64_t store_epoch = 0;              ///< engine catalog version at snapshot
+
+  double serve_wall_ms_total = 0.0;  ///< summed host wall-clock serve latency
+
+  /// Fraction of needed selectivities that came free from the shared store.
+  double SharedHitRatio() const {
+    uint64_t total = shared_hits + selectivities_collected;
+    return total == 0 ? 0.0 : static_cast<double>(shared_hits) / static_cast<double>(total);
+  }
+
+  double MeanServeWallMs() const {
+    return requests == 0 ? 0.0 : serve_wall_ms_total / static_cast<double>(requests);
+  }
+};
+
+/// Thread-safe accumulator behind MalivaService::Stats().
+class ServingTelemetry {
+ public:
+  void RecordServed(uint64_t collected, uint64_t shared_hits, uint64_t published,
+                    bool exact_fallback, double wall_ms) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    collected_.fetch_add(collected, std::memory_order_relaxed);
+    shared_hits_.fetch_add(shared_hits, std::memory_order_relaxed);
+    published_.fetch_add(published, std::memory_order_relaxed);
+    if (exact_fallback) fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    wall_ns_.fetch_add(static_cast<uint64_t>(wall_ms * 1e6), std::memory_order_relaxed);
+  }
+
+  void RecordError(double wall_ms) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    wall_ns_.fetch_add(static_cast<uint64_t>(wall_ms * 1e6), std::memory_order_relaxed);
+  }
+
+  /// Counter part of the snapshot; the service layers the store fields on top.
+  ServiceStats Snapshot() const {
+    ServiceStats s;
+    s.requests = requests_.load(std::memory_order_relaxed);
+    s.errors = errors_.load(std::memory_order_relaxed);
+    s.exact_fallbacks = fallbacks_.load(std::memory_order_relaxed);
+    s.selectivities_collected = collected_.load(std::memory_order_relaxed);
+    s.shared_hits = shared_hits_.load(std::memory_order_relaxed);
+    s.shared_published = published_.load(std::memory_order_relaxed);
+    s.serve_wall_ms_total =
+        static_cast<double>(wall_ns_.load(std::memory_order_relaxed)) / 1e6;
+    return s;
+  }
+
+ private:
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> fallbacks_{0};
+  std::atomic<uint64_t> collected_{0};
+  std::atomic<uint64_t> shared_hits_{0};
+  std::atomic<uint64_t> published_{0};
+  std::atomic<uint64_t> wall_ns_{0};
+};
+
+}  // namespace maliva
+
+#endif  // MALIVA_SERVICE_SERVING_TELEMETRY_H_

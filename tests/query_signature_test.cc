@@ -1,0 +1,176 @@
+// Canonicalization tests: signature stability under predicate permutation
+// and output/id changes, literal-binning behaviour, and distinct signatures
+// for semantically different queries.
+
+#include "query/signature.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace maliva {
+namespace {
+
+Query TwitterishQuery() {
+  Query q;
+  q.id = 7;
+  q.table = "tweets";
+  q.predicates = {
+      Predicate::Keyword("text", "storm"),
+      Predicate::Time("created_at", 1.5e9, 1.5e9 + 3600.0),
+      Predicate::Spatial("coordinate", BoundingBox{-74.1, 40.6, -73.7, 40.9}),
+  };
+  q.output = OutputKind::kHeatmap;
+  q.output_column = "coordinate";
+  q.heatmap_bins = 32;
+  return q;
+}
+
+TEST(QuerySignatureTest, StableUnderPredicatePermutation) {
+  Query q = TwitterishQuery();
+  CanonicalQuery base = Canonicalize(q);
+
+  Query permuted = q;
+  std::swap(permuted.predicates[0], permuted.predicates[2]);
+  CanonicalQuery perm = Canonicalize(permuted);
+
+  EXPECT_EQ(base.signature, perm.signature);
+  // Slot keys stay in slot order (they key the SelectivityCache), so the
+  // permutation permutes them — same multiset, swapped positions.
+  ASSERT_EQ(base.slot_keys.size(), 3u);
+  ASSERT_EQ(perm.slot_keys.size(), 3u);
+  EXPECT_EQ(base.slot_keys[0], perm.slot_keys[2]);
+  EXPECT_EQ(base.slot_keys[2], perm.slot_keys[0]);
+  EXPECT_EQ(base.slot_keys[1], perm.slot_keys[1]);
+}
+
+TEST(QuerySignatureTest, IdAndOutputFieldsAreStripped) {
+  Query q = TwitterishQuery();
+  CanonicalQuery base = Canonicalize(q);
+
+  Query variant = q;
+  variant.id = 123456;
+  variant.output = OutputKind::kScatter;
+  variant.output_column = "id";
+  variant.heatmap_bins = 64;
+  CanonicalQuery stripped = Canonicalize(variant);
+
+  EXPECT_EQ(base.signature, stripped.signature);
+  EXPECT_EQ(base.slot_keys, stripped.slot_keys);
+}
+
+TEST(QuerySignatureTest, DistinctForSemanticallyDifferentQueries) {
+  Query q = TwitterishQuery();
+  CanonicalQuery base = Canonicalize(q);
+
+  Query other_table = q;
+  other_table.table = "taxi";
+  EXPECT_NE(base.signature, Canonicalize(other_table).signature);
+
+  Query other_keyword = q;
+  other_keyword.predicates[0].keyword = "flood";
+  EXPECT_NE(base.signature, Canonicalize(other_keyword).signature);
+
+  Query other_column = q;
+  other_column.predicates[1].column = "user_created_at";
+  EXPECT_NE(base.signature, Canonicalize(other_column).signature);
+
+  Query extra_predicate = q;
+  extra_predicate.predicates.push_back(Predicate::Numeric("statuses", 0, 100));
+  EXPECT_NE(base.signature, Canonicalize(extra_predicate).signature);
+
+  Query with_join = q;
+  with_join.join = JoinSpec{"users", "user_id", "id", {}};
+  EXPECT_NE(base.signature, Canonicalize(with_join).signature);
+}
+
+TEST(QuerySignatureTest, RangeLiteralsShareBinsUnderSmallJitter) {
+  // Coarse bins make the binning behaviour easy to pin down: with 16 bins
+  // the mantissa resolution is 1/32 relative, so 100 vs 101 (same binary
+  // exponent, same mantissa bucket) share a bin while 100 vs 120 do not.
+  SignatureOptions coarse{16};
+  Predicate a = Predicate::Time("created_at", 100.0, 200.0);
+  Predicate jitter = Predicate::Time("created_at", 101.0, 201.0);
+  Predicate moved = Predicate::Time("created_at", 120.0, 220.0);
+
+  EXPECT_EQ(PredicateSlotKey("tweets", a, coarse),
+            PredicateSlotKey("tweets", jitter, coarse));
+  EXPECT_NE(PredicateSlotKey("tweets", a, coarse),
+            PredicateSlotKey("tweets", moved, coarse));
+}
+
+TEST(QuerySignatureTest, RangeExtentDisambiguatesSameLowBound) {
+  // Both ranges start at the same bound; the extent binning must separate a
+  // short window from a long one even at coarse granularity.
+  SignatureOptions coarse{16};
+  Predicate minute = Predicate::Time("created_at", 1.5e9, 1.5e9 + 60.0);
+  Predicate hour = Predicate::Time("created_at", 1.5e9, 1.5e9 + 3600.0);
+  EXPECT_NE(PredicateSlotKey("tweets", minute, coarse),
+            PredicateSlotKey("tweets", hour, coarse));
+}
+
+TEST(QuerySignatureTest, SpatialPanWithinAGridCellSharesTheSlot) {
+  // Grid cells scale with the box's own extent: width 4.5 -> power-of-two
+  // tile 8, cell 8/16 = 0.5 degrees; height 3 -> tile 4, cell 0.25. A pan
+  // below one cell per axis shares the slot; a viewport-sized pan does not,
+  // no matter the coordinate magnitude.
+  SignatureOptions coarse{16};
+  Predicate at =
+      Predicate::Spatial("coordinate", BoundingBox{10.0, 10.0, 14.5, 13.0});
+  Predicate pan_small = Predicate::Spatial(
+      "coordinate", BoundingBox{10.125, 10.125, 14.625, 13.125});
+  Predicate pan_large =
+      Predicate::Spatial("coordinate", BoundingBox{40.0, 10.0, 44.5, 13.0});
+
+  EXPECT_EQ(PredicateSlotKey("tweets", at, coarse),
+            PredicateSlotKey("tweets", pan_small, coarse));
+  EXPECT_NE(PredicateSlotKey("tweets", at, coarse),
+            PredicateSlotKey("tweets", pan_large, coarse));
+}
+
+TEST(QuerySignatureTest, AnchorResolutionScalesWithTheExtent) {
+  // The same absolute one-hour pan is far below a month window's cell but
+  // many cells for a two-hour window: anchor grids follow the extent, not
+  // the (epoch-sized) magnitude of the bounds.
+  SignatureOptions coarse{16};
+  const double kMonth = 30.0 * 86400.0;
+  Predicate month = Predicate::Time("created_at", 1.5e9, 1.5e9 + kMonth);
+  Predicate month_panned =
+      Predicate::Time("created_at", 1.5e9 + 3600.0, 1.5e9 + kMonth + 3600.0);
+  EXPECT_EQ(PredicateSlotKey("tweets", month, coarse),
+            PredicateSlotKey("tweets", month_panned, coarse));
+
+  Predicate hours = Predicate::Time("created_at", 1.5e9, 1.5e9 + 7200.0);
+  Predicate hours_panned =
+      Predicate::Time("created_at", 1.5e9 + 3600.0, 1.5e9 + 7200.0 + 3600.0);
+  EXPECT_NE(PredicateSlotKey("tweets", hours, coarse),
+            PredicateSlotKey("tweets", hours_panned, coarse));
+}
+
+TEST(QuerySignatureTest, FinerBinsSeparateWhatCoarseBinsShare) {
+  Predicate a = Predicate::Time("created_at", 100.0, 200.0);
+  Predicate jitter = Predicate::Time("created_at", 101.0, 201.0);
+  EXPECT_EQ(PredicateSlotKey("tweets", a, SignatureOptions{16}),
+            PredicateSlotKey("tweets", jitter, SignatureOptions{16}));
+  EXPECT_NE(PredicateSlotKey("tweets", a, SignatureOptions{1 << 20}),
+            PredicateSlotKey("tweets", jitter, SignatureOptions{1 << 20}));
+}
+
+TEST(QuerySignatureTest, JoinRightPredicatesKeyAgainstTheRightTable) {
+  Query q = TwitterishQuery();
+  q.join = JoinSpec{"users", "user_id", "id",
+                    {Predicate::Numeric("followers", 100.0, 1e6)}};
+  CanonicalQuery canonical = Canonicalize(q);
+  ASSERT_EQ(canonical.slot_keys.size(), 4u);  // 3 base + 1 right
+
+  // The same predicate keyed against the base table must differ: slot keys
+  // encode the target table.
+  EXPECT_NE(canonical.slot_keys[3],
+            PredicateSlotKey("tweets", q.join->right_predicates[0]));
+  EXPECT_EQ(canonical.slot_keys[3],
+            PredicateSlotKey("users", q.join->right_predicates[0]));
+}
+
+}  // namespace
+}  // namespace maliva

@@ -1,0 +1,276 @@
+// Cross-request knowledge plane tests at the service layer: warm-store
+// requests collect fewer selectivities than cold ones, off-mode behaviour is
+// unchanged and reports no shared traffic, epoch invalidation via engine
+// catalog changes, ServiceConfig::Validate(), and the Stats() snapshot. The
+// suite name carries "Service" so the scripts/ci.sh sanitizer legs
+// (-R 'Service|Concurrency') run it.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "query/signature.h"
+#include "service/service.h"
+
+namespace maliva {
+namespace {
+
+class ServiceKnowledgePlaneTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ScenarioConfig cfg;
+    cfg.kind = DatasetKind::kTwitter;
+    cfg.num_rows = 20000;
+    cfg.num_queries = 120;
+    cfg.tau_ms = 500.0;
+    cfg.seed = 131;
+    scenario_ = new Scenario(BuildScenario(cfg));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+
+  static ServiceConfig SmallConfig() {
+    return ServiceConfig().WithTrainerIterations(3).WithAgentSeeds(1);
+  }
+
+  static Scenario* scenario_;
+};
+
+Scenario* ServiceKnowledgePlaneTest::scenario_ = nullptr;
+
+TEST_F(ServiceKnowledgePlaneTest, WarmStoreServesSharedHitsAndCollectsLess) {
+  MalivaService service(scenario_, SmallConfig().WithCrossRequestCache(true));
+
+  // "naive" enumerates every option, so a cold request collects every slot
+  // and a fully warmed one collects none — the cleanest cold/warm contrast.
+  RewriteRequest req;
+  req.query = scenario_->evaluation[0];
+  req.strategy = "naive";
+
+  Result<RewriteResponse> cold = service.Serve(req);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_GT(cold.value().stats.selectivities_collected, 0u);
+  EXPECT_EQ(cold.value().stats.shared_hits, 0u);
+  EXPECT_GT(cold.value().stats.shared_published, 0u);
+
+  Result<RewriteResponse> warm = service.Serve(req);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm.value().stats.selectivities_collected, 0u);
+  EXPECT_EQ(warm.value().stats.shared_hits,
+            cold.value().stats.selectivities_collected);
+  EXPECT_EQ(warm.value().stats.shared_published, 0u);
+
+  // Shared hits are free (the Fig 7 mechanism across requests): the warmed
+  // request pays model evaluations only, so planning time strictly drops
+  // while the decision itself — estimates are value-identical — stays put.
+  EXPECT_LT(warm.value().outcome.planning_ms, cold.value().outcome.planning_ms);
+  EXPECT_EQ(warm.value().outcome.option_index, cold.value().outcome.option_index);
+  EXPECT_EQ(warm.value().outcome.steps, cold.value().outcome.steps);
+}
+
+TEST_F(ServiceKnowledgePlaneTest, SharingCrossesDistinctQueriesWithSharedPredicates) {
+  MalivaService service(scenario_, SmallConfig().WithCrossRequestCache(true));
+
+  // Two distinct Query objects (different ids) with identical predicates —
+  // a dashboard refresh. Canonicalization maps them to the same slot keys.
+  Query refresh = *scenario_->evaluation[0];
+  refresh.id = 999999;
+  ASSERT_EQ(Canonicalize(refresh).signature,
+            Canonicalize(*scenario_->evaluation[0]).signature);
+
+  RewriteRequest first;
+  first.query = scenario_->evaluation[0];
+  first.strategy = "naive";
+  ASSERT_TRUE(service.Serve(first).ok());
+
+  RewriteRequest second;
+  second.query = &refresh;
+  second.strategy = "naive";
+  Result<RewriteResponse> resp = service.Serve(second);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_GT(resp.value().stats.shared_hits, 0u);
+  EXPECT_EQ(resp.value().stats.selectivities_collected, 0u);
+}
+
+TEST_F(ServiceKnowledgePlaneTest, OffModeReportsNoSharedTrafficAndStaysCold) {
+  MalivaService service(scenario_, SmallConfig());  // cross_request_cache off
+
+  RewriteRequest req;
+  req.query = scenario_->evaluation[0];
+  req.strategy = "naive";
+
+  Result<RewriteResponse> first = service.Serve(req);
+  Result<RewriteResponse> second = service.Serve(req);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  for (const Result<RewriteResponse>* resp : {&first, &second}) {
+    EXPECT_EQ(resp->value().stats.shared_hits, 0u);
+    EXPECT_EQ(resp->value().stats.shared_published, 0u);
+    EXPECT_GT(resp->value().stats.selectivities_collected, 0u);
+  }
+  // No cross-request memory: the second request repays the full bill.
+  EXPECT_EQ(first.value().stats.selectivities_collected,
+            second.value().stats.selectivities_collected);
+  EXPECT_EQ(first.value().outcome.planning_ms, second.value().outcome.planning_ms);
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.store_size, 0u);
+  EXPECT_EQ(stats.shared_hits, 0u);
+  EXPECT_DOUBLE_EQ(stats.SharedHitRatio(), 0.0);
+}
+
+TEST_F(ServiceKnowledgePlaneTest, CatalogChangeInvalidatesSharedKnowledge) {
+  // Own scenario: the test mutates the engine catalog (a stats refresh).
+  ScenarioConfig cfg;
+  cfg.kind = DatasetKind::kTwitter;
+  cfg.num_rows = 5000;
+  cfg.num_queries = 40;
+  cfg.seed = 137;
+  Scenario scenario = BuildScenario(cfg);
+
+  MalivaService service(&scenario, SmallConfig().WithCrossRequestCache(true));
+  RewriteRequest req;
+  req.query = scenario.evaluation[0];
+  req.strategy = "naive";
+
+  ASSERT_TRUE(service.Serve(req).ok());
+  Result<RewriteResponse> warm = service.Serve(req);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_GT(warm.value().stats.shared_hits, 0u);
+
+  // Registering new sample tables moves Engine::catalog_version(): the
+  // store's knowledge predates the new statistics ground truth and must
+  // read as a miss.
+  uint64_t before = scenario.engine->catalog_version();
+  ASSERT_TRUE(scenario.engine->BuildSampleTables("tweets", {0.33}, 4242).ok());
+  ASSERT_GT(scenario.engine->catalog_version(), before);
+
+  Result<RewriteResponse> after = service.Serve(req);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().stats.shared_hits, 0u);
+  EXPECT_GT(after.value().stats.selectivities_collected, 0u);
+
+  // And the re-collected knowledge warms the new epoch.
+  Result<RewriteResponse> rewarmed = service.Serve(req);
+  ASSERT_TRUE(rewarmed.ok());
+  EXPECT_GT(rewarmed.value().stats.shared_hits, 0u);
+}
+
+TEST_F(ServiceKnowledgePlaneTest, StatsAggregatesAcrossRequests) {
+  MalivaService service(scenario_, SmallConfig().WithCrossRequestCache(true));
+
+  RewriteRequest req;
+  req.query = scenario_->evaluation[0];
+  req.strategy = "naive";
+  ASSERT_TRUE(service.Serve(req).ok());
+  ASSERT_TRUE(service.Serve(req).ok());
+
+  RewriteRequest bad;
+  bad.query = scenario_->evaluation[0];
+  bad.strategy = "definitely/not-a-strategy";
+  ASSERT_FALSE(service.Serve(bad).ok());
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_GT(stats.selectivities_collected, 0u);
+  EXPECT_GT(stats.shared_hits, 0u);
+  EXPECT_GT(stats.shared_published, 0u);
+  EXPECT_GT(stats.store_size, 0u);
+  EXPECT_GT(stats.SharedHitRatio(), 0.0);
+  EXPECT_LT(stats.SharedHitRatio(), 1.0);
+  EXPECT_GE(stats.serve_wall_ms_total, 0.0);
+  EXPECT_GE(stats.MeanServeWallMs(), 0.0);
+}
+
+TEST_F(ServiceKnowledgePlaneTest, ValidateRejectsPathologies) {
+  // Valid defaults pass, with and without the knowledge plane.
+  EXPECT_TRUE(ServiceConfig().Validate().ok());
+  EXPECT_TRUE(ServiceConfig().WithCrossRequestCache(true).Validate().ok());
+
+  auto expect_invalid = [](const ServiceConfig& config) {
+    Status st = config.Validate();
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), Status::Code::kInvalidArgument);
+  };
+
+  // num_threads pathologies (unsigned wrap-around, absurd counts).
+  expect_invalid(ServiceConfig().WithNumThreads(static_cast<size_t>(-1)));
+  expect_invalid(ServiceConfig().WithNumThreads(ServiceConfig::kMaxNumThreads + 1));
+
+  // Cache knobs: zero / conflicting values.
+  expect_invalid(
+      ServiceConfig().WithCrossRequestCache(true).WithSharedStoreCapacity(0));
+  expect_invalid(
+      ServiceConfig().WithCrossRequestCache(true).WithSharedStoreShards(0));
+  expect_invalid(ServiceConfig()
+                     .WithCrossRequestCache(true)
+                     .WithSharedStoreCapacity(8)
+                     .WithSharedStoreShards(16));
+  expect_invalid(
+      ServiceConfig().WithCrossRequestCache(true).WithSignatureLiteralBins(0));
+  expect_invalid(
+      ServiceConfig().WithCrossRequestCache(true).WithSignatureLiteralBins(-4));
+
+  // Other numeric knobs share the same chokepoint.
+  expect_invalid(ServiceConfig().WithBeta(1.5));
+  expect_invalid(ServiceConfig().WithBeta(-0.1));
+  expect_invalid(ServiceConfig().WithBaoPerPlanCostMs(-1.0));
+  expect_invalid(ServiceConfig().WithBaoPerPlanCostMs(
+      std::numeric_limits<double>::quiet_NaN()));
+
+  // With the flag off, cache knob values are inert and not rejected.
+  EXPECT_TRUE(ServiceConfig().WithSharedStoreCapacity(0).Validate().ok());
+}
+
+TEST_F(ServiceKnowledgePlaneTest, MisconfiguredServiceFailsServeAndWarmup) {
+  MalivaService service(
+      scenario_,
+      SmallConfig().WithCrossRequestCache(true).WithSharedStoreCapacity(0));
+
+  RewriteRequest req;
+  req.query = scenario_->evaluation[0];
+  req.strategy = "baseline";
+  Result<RewriteResponse> resp = service.Serve(req);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), Status::Code::kInvalidArgument);
+
+  Status warm = service.Warmup({"baseline"});
+  ASSERT_FALSE(warm.ok());
+  EXPECT_EQ(warm.code(), Status::Code::kInvalidArgument);
+
+  // The failed requests still count in telemetry.
+  EXPECT_EQ(service.Stats().requests, 1u);
+  EXPECT_EQ(service.Stats().errors, 1u);
+}
+
+TEST_F(ServiceKnowledgePlaneTest, BatchServingWarmsTheStoreAcrossRequests) {
+  MalivaService service(
+      scenario_, SmallConfig().WithCrossRequestCache(true).WithNumThreads(4));
+
+  // A pan/zoom-style stream: a handful of distinct tiles, each requested
+  // many times. After the batch, the store must hold each tile's slots once
+  // and most requests must have been served from shared knowledge.
+  std::vector<RewriteRequest> requests;
+  for (size_t i = 0; i < 64; ++i) {
+    RewriteRequest req;
+    req.query = scenario_->evaluation[i % 4];
+    req.strategy = "naive";
+    requests.push_back(req);
+  }
+  std::vector<Result<RewriteResponse>> responses = service.ServeBatch(requests);
+  ASSERT_EQ(responses.size(), requests.size());
+  for (const Result<RewriteResponse>& resp : responses) {
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  }
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.requests, 64u);
+  EXPECT_GT(stats.shared_hits, stats.selectivities_collected);
+  EXPECT_GT(stats.SharedHitRatio(), 0.5);
+}
+
+}  // namespace
+}  // namespace maliva
