@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# Tier-1 verification sequence: configure, build, test.
+# Tier-1 verification sequence: docs check, configure, build, test.
 #
 # The service layer (src/service/) is held to -Wall -Wextra with warnings
 # treated as errors; the rest of the tree builds with default flags.
 #
-#   scripts/ci.sh          # regular build + full test suite
+#   scripts/ci.sh          # docs check + regular build + full test suite
+#   scripts/ci.sh --docs   # docs check only (no build): README/docs/DESIGN
+#                          # relative links resolve, and every bench_*.cc has
+#                          # a docs/experiments.md entry
 #   scripts/ci.sh --tsan   # additionally: ThreadSanitizer build (build-tsan/)
 #                          # running the service/concurrency suites
 #   scripts/ci.sh --asan   # additionally: AddressSanitizer build (build-asan/)
@@ -13,15 +16,64 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# Docs leg: every relative markdown link in README.md, DESIGN.md, and docs/
+# must resolve to a file or directory, and every bench binary must have an
+# entry in docs/experiments.md (the authoritative experiment index).
+check_docs() {
+  echo "== docs check: links + experiment coverage =="
+  local fail=0
+  local doc dir link target
+  for doc in README.md DESIGN.md docs/*.md; do
+    [[ -f "$doc" ]] || continue
+    dir="$(dirname "$doc")"
+    # Markdown link targets: the (...) of ](...) occurrences, with fenced
+    # code blocks skipped (example snippets are not links) and optional
+    # quoted titles ([text](file "title")) stripped.
+    while IFS= read -r link; do
+      case "$link" in
+        http://*|https://*|mailto:*|\#*) continue ;;
+      esac
+      target="${link%%#*}"
+      target="${target%% \"*}"
+      [[ -n "$target" ]] || continue
+      if [[ ! -e "$dir/$target" ]]; then
+        echo "BROKEN LINK in $doc: ($link)"
+        fail=1
+      fi
+    done < <(awk '/^[[:space:]]*```/ { fence = !fence; next } !fence' "$doc" \
+               | grep -oE '\]\([^)]+\)' | sed -E 's/^\]\(//; s/\)$//')
+  done
+  local bench name
+  for bench in bench/bench_*.cc; do
+    name="$(basename "$bench" .cc)"
+    if ! grep -q "$name" docs/experiments.md; then
+      echo "MISSING EXPERIMENT DOC: $name has no entry in docs/experiments.md"
+      fail=1
+    fi
+  done
+  if [[ "$fail" != 0 ]]; then
+    echo "docs check FAILED" >&2
+    exit 1
+  fi
+  echo "docs check OK"
+}
+
 run_tsan=0
 run_asan=0
+docs_only=0
 for arg in "$@"; do
   case "$arg" in
+    --docs) docs_only=1 ;;
     --tsan) run_tsan=1 ;;
     --asan) run_asan=1 ;;
-    *) echo "unknown option: $arg (supported: --tsan, --asan)" >&2; exit 2 ;;
+    *) echo "unknown option: $arg (supported: --docs, --tsan, --asan)" >&2; exit 2 ;;
   esac
 done
+
+check_docs
+if [[ "$docs_only" == 1 && "$run_tsan" == 0 && "$run_asan" == 0 ]]; then
+  exit 0
+fi
 
 cmake -B build -S . -DMALIVA_SERVICE_WERROR=ON
 cmake --build build -j"$(nproc)"

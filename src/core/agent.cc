@@ -16,6 +16,19 @@ QAgent::QAgent(size_t num_actions, uint64_t seed) : num_actions_(num_actions) {
   target_->CopyParamsFrom(*online_);
 }
 
+QAgent::QAgent(size_t num_actions, const Mlp& online, const Mlp& target)
+    : num_actions_(num_actions) {
+  assert(num_actions > 0);
+  assert(online.output_dim() == num_actions && target.output_dim() == num_actions);
+  online_ = std::make_unique<Mlp>(online);
+  target_ = std::make_unique<Mlp>(target);
+}
+
+std::unique_ptr<QAgent> QAgent::Clone() const {
+  auto copy = std::make_unique<QAgent>(num_actions_, *online_, *target_);
+  return copy;
+}
+
 std::vector<double> QAgent::QValues(const std::vector<double>& features) const {
   return online_->Forward(features);
 }

@@ -19,6 +19,14 @@ class QAgent {
   /// `num_actions` = |Omega|; the input dim is 2 * num_actions + 1.
   QAgent(size_t num_actions, uint64_t seed);
 
+  /// Reconstructs an agent from snapshotted networks (copied). Used by the
+  /// online learning plane to materialize a published AgentSnapshot.
+  QAgent(size_t num_actions, const Mlp& online, const Mlp& target);
+
+  /// Deep copy — networks and optimizer state — so a fine-tune can train a
+  /// clone while the original keeps serving.
+  std::unique_ptr<QAgent> Clone() const;
+
   size_t num_actions() const { return num_actions_; }
 
   /// Q-values for every action in the given state.
@@ -40,6 +48,10 @@ class QAgent {
   void SyncTarget();
 
   Mlp* online() { return online_.get(); }
+
+  /// Read-only network views (snapshot publication copies from these).
+  const Mlp& online_net() const { return *online_; }
+  const Mlp& target_net() const { return *target_; }
 
  private:
   size_t num_actions_;

@@ -24,13 +24,17 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "ml/replay_buffer.h"
 #include "qte/selectivity_cache.h"
 #include "qte/shared_selectivity_store.h"
 #include "util/rng.h"
 
 namespace maliva {
+
+class QAgent;
 
 /// Mutable state of one in-flight rewrite request.
 class RewriteSession {
@@ -103,6 +107,33 @@ class RewriteSession {
   /// episode too.
   size_t shared_seeded() const { return shared_seeded_; }
 
+  // --- online learning plane binding ---------------------------------------
+
+  /// Serves this request with `agent` — the online plane's current published
+  /// snapshot — instead of the strategy's construction-time weights. Borrowed;
+  /// the service keeps the owning snapshot alive for the duration of the
+  /// call. Only single-agent strategies (MalivaRewriter) honor the override.
+  void BindAgentOverride(const QAgent* agent) { agent_override_ = agent; }
+  const QAgent* agent_override() const { return agent_override_; }
+
+  /// When enabled, episode runners record every observed MDP transition
+  /// (state, action, reward from the *actual* virtual outcome, next state)
+  /// into the session; the service forwards them to the replay sink after
+  /// serving. Off by default — capture copies feature vectors, so the frozen
+  /// serving path never pays for it.
+  void set_capture_transitions(bool on) { capture_transitions_ = on; }
+  bool capture_transitions() const { return capture_transitions_; }
+
+  /// Appends one observed transition (called by RunGreedyEpisode when
+  /// capture is enabled).
+  void RecordTransition(Experience exp) { transitions_.push_back(std::move(exp)); }
+
+  const std::vector<Experience>& transitions() const { return transitions_; }
+
+  /// Moves the captured transitions out (the service hands them to the
+  /// ShardedReplaySink in one batch).
+  std::vector<Experience> TakeTransitions() { return std::move(transitions_); }
+
   // --- multi-attempt accounting (quality-floor fallback) -------------------
 
   /// Records planning effort of an abandoned attempt; the service adds it to
@@ -125,6 +156,9 @@ class RewriteSession {
   const std::vector<uint64_t>* slot_keys_ = nullptr;
   uint64_t epoch_ = 0;
   size_t shared_seeded_ = 0;
+  const QAgent* agent_override_ = nullptr;
+  bool capture_transitions_ = false;
+  std::vector<Experience> transitions_;
   double abandoned_planning_ms_ = 0.0;
   size_t abandoned_steps_ = 0;
   bool exact_fallback_ = false;

@@ -52,11 +52,36 @@ RewriteOutcome Rewriter::RewriteWithBudget(const Query& query, double tau_ms) co
 
 namespace {
 
+/// The one greedy episode loop every serving/evaluation path shares. When
+/// `capture` is non-null, each observed MDP transition is also recorded into
+/// the session for the online plane's replay sink — the reward is the
+/// environment's, computed from the *actual* virtual planning/exec outcome,
+/// so retraining learns from ground truth, not estimates. One loop by
+/// design: action selection for serving and for captured feedback can never
+/// diverge.
 RewriteOutcome RunGreedyEpisodeOn(const RewriterEnv& renv, const QAgent& agent,
-                                  const Query& query, QueryEnv& env) {
+                                  const Query& query, QueryEnv& env,
+                                  RewriteSession* capture) {
+  // `state` is refreshed lazily: with capture on, each step's recorded
+  // next_state doubles as the following step's state, so Features() runs
+  // once per step either way.
+  std::vector<double> state = env.Features();
   while (!env.terminal()) {
-    size_t action = agent.GreedyAction(env.Features(), env.valid_actions());
-    env.Step(action);
+    size_t action = agent.GreedyAction(state, env.valid_actions());
+    double reward = env.Step(action);
+    if (capture != nullptr) {
+      Experience exp;
+      exp.state = std::move(state);
+      exp.action = static_cast<int>(action);
+      exp.reward = reward;
+      exp.next_state = env.Features();
+      exp.terminal = env.terminal();
+      exp.next_valid = env.valid_actions();
+      state = exp.next_state;
+      capture->RecordTransition(std::move(exp));
+    } else if (!env.terminal()) {
+      state = env.Features();
+    }
   }
   return OutcomeFromEnv(renv, env, query);
 }
@@ -67,19 +92,25 @@ RewriteOutcome RunGreedyEpisode(const RewriterEnv& renv, const QAgent& agent,
                                 const Query& query) {
   QteContext ctx = renv.MakeContext(query);
   QueryEnv env(&ctx, renv.qte, renv.env_config);
-  return RunGreedyEpisodeOn(renv, agent, query, env);
+  return RunGreedyEpisodeOn(renv, agent, query, env, nullptr);
 }
 
 RewriteOutcome RunGreedyEpisode(const RewriterEnv& renv, const QAgent& agent,
                                 const Query& query, RewriteSession& session) {
   QteContext ctx = renv.MakeContext(query);
   QueryEnv env(&ctx, renv.qte, renv.env_config, &session.NewCache(ctx.NumSlots()));
-  return RunGreedyEpisodeOn(renv, agent, query, env);
+  return RunGreedyEpisodeOn(renv, agent, query, env,
+                            session.capture_transitions() ? &session : nullptr);
 }
 
 RewriteOutcome MalivaRewriter::RewriteForSession(const Query& query, double tau_ms,
                                                  RewriteSession& session) const {
-  return RunGreedyEpisode(WithBudget(renv_, tau_ms), *agent_, query, session);
+  // The online plane substitutes its current published snapshot here; with
+  // the plane off (or for frozen strategies) the construction-time agent
+  // serves, byte-identical to pre-online behavior.
+  const QAgent& agent =
+      session.agent_override() != nullptr ? *session.agent_override() : *agent_;
+  return RunGreedyEpisode(WithBudget(renv_, tau_ms), agent, query, session);
 }
 
 RewriteOutcome TwoStageRewriter::RewriteForSession(const Query& query, double tau,

@@ -9,21 +9,22 @@
 
 namespace maliva {
 
-Trainer::IterationStats Trainer::Evaluate(
-    const QAgent& agent, const std::vector<const Query*>& workload) const {
+Trainer::IterationStats Trainer::EvaluateGreedy(
+    const RewriterEnv& renv, const QAgent& agent,
+    const std::vector<const Query*>& workload) {
   IterationStats stats;
   double reward_sum = 0.0;
   size_t viable = 0;
   for (const Query* q : workload) {
-    QteContext ctx = renv_.MakeContext(*q);
-    QueryEnv env(&ctx, renv_.qte, renv_.env_config);
+    QteContext ctx = renv.MakeContext(*q);
+    QueryEnv env(&ctx, renv.qte, renv.env_config);
     double reward = 0.0;
     while (!env.terminal()) {
       size_t action = agent.GreedyAction(env.Features(), env.valid_actions());
       reward = env.Step(action);
     }
     reward_sum += reward;
-    if (env.elapsed_ms() + env.decided_exec_ms() <= renv_.env_config.tau_ms) ++viable;
+    if (env.elapsed_ms() + env.decided_exec_ms() <= renv.env_config.tau_ms) ++viable;
   }
   stats.episodes = workload.size();
   stats.mean_reward = workload.empty() ? 0.0
@@ -32,6 +33,34 @@ Trainer::IterationStats Trainer::Evaluate(
       workload.empty() ? 0.0
                        : static_cast<double>(viable) / static_cast<double>(workload.size());
   return stats;
+}
+
+Trainer::IterationStats Trainer::Evaluate(
+    const QAgent& agent, const std::vector<const Query*>& workload) const {
+  return EvaluateGreedy(renv_, agent, workload);
+}
+
+void Trainer::MinibatchUpdate(QAgent* agent,
+                              const std::vector<const Experience*>& batch,
+                              double gamma, double learning_rate) {
+  if (batch.empty()) return;
+  for (const Experience* e : batch) {
+    double target = e->reward;
+    if (!e->terminal) {
+      std::vector<double> tq = agent->TargetQValues(e->next_state);
+      double best = -std::numeric_limits<double>::infinity();
+      bool any = false;
+      for (size_t i = 0; i < tq.size(); ++i) {
+        if (e->next_valid[i]) {
+          best = std::max(best, tq[i]);
+          any = true;
+        }
+      }
+      if (any) target += gamma * best;
+    }
+    agent->online()->AccumulateGradient(e->state, e->action, target);
+  }
+  agent->online()->Step(learning_rate, batch.size());
 }
 
 std::unique_ptr<QAgent> Trainer::Train(const std::vector<const Query*>& workload) {
@@ -77,24 +106,8 @@ std::unique_ptr<QAgent> Trainer::Train(const std::vector<const Query*>& workload
 
       // One replay update per processed query (Algorithm 1, line 21).
       if (replay.size() >= config_.batch_size) {
-        std::vector<const Experience*> batch = replay.Sample(config_.batch_size, &rng);
-        for (const Experience* e : batch) {
-          double target = e->reward;
-          if (!e->terminal) {
-            std::vector<double> tq = agent->TargetQValues(e->next_state);
-            double best = -std::numeric_limits<double>::infinity();
-            bool any = false;
-            for (size_t i = 0; i < tq.size(); ++i) {
-              if (e->next_valid[i]) {
-                best = std::max(best, tq[i]);
-                any = true;
-              }
-            }
-            if (any) target += config_.gamma * best;
-          }
-          agent->online()->AccumulateGradient(e->state, e->action, target);
-        }
-        agent->online()->Step(config_.learning_rate, batch.size());
+        MinibatchUpdate(agent.get(), replay.Sample(config_.batch_size, &rng),
+                        config_.gamma, config_.learning_rate);
         ++updates;
         if (updates % config_.target_sync_every == 0) agent->SyncTarget();
       }

@@ -38,6 +38,23 @@ class Trainer {
     size_t episodes = 0;
   };
 
+  /// Greedy evaluation of `agent` over `workload` in `renv`: mean terminal
+  /// reward and viable fraction. Shared by the offline trainer's convergence
+  /// check and the online plane's validation gate (continual_trainer.cc).
+  static IterationStats EvaluateGreedy(const RewriterEnv& renv, const QAgent& agent,
+                                       const std::vector<const Query*>& workload);
+
+  /// One DQN minibatch update (Algorithm 1, lines 19-21): Bellman targets
+  /// maxed over each successor's still-valid actions on the target network,
+  /// accumulated gradients, one Adam step. The ONE update rule — shared by
+  /// offline training and the online plane's fine-tune rounds
+  /// (continual_trainer.cc), so the two can never silently diverge. Target
+  /// syncing stays with the caller (cadences differ). No-op on an empty
+  /// batch.
+  static void MinibatchUpdate(QAgent* agent,
+                              const std::vector<const Experience*>& batch,
+                              double gamma, double learning_rate);
+
   Trainer(RewriterEnv renv, TrainerConfig config)
       : renv_(std::move(renv)), config_(config) {}
 

@@ -1,0 +1,9 @@
+#include "ml/agent_snapshot.h"
+
+namespace maliva {
+
+size_t AgentSnapshot::NumParameters() const {
+  return online_.NumParameters() + target_.NumParameters();
+}
+
+}  // namespace maliva

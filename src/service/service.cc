@@ -54,6 +54,62 @@ Status ServiceConfig::Validate() const {
           "cross_request_cache requires signature_literal_bins >= 1");
     }
   }
+  if (online_learning) {
+    if (online_min_transitions == 0) {
+      return Status::InvalidArgument(
+          "online_learning requires online_min_transitions > 0");
+    }
+    if (online_replay_capacity == 0) {
+      return Status::InvalidArgument(
+          "online_learning requires online_replay_capacity > 0");
+    }
+    if (online_replay_shards == 0) {
+      return Status::InvalidArgument(
+          "online_learning requires online_replay_shards > 0");
+    }
+    if (online_replay_shards > online_replay_capacity) {
+      return Status::InvalidArgument(
+          "online_replay_shards (" + std::to_string(online_replay_shards) +
+          ") must not exceed online_replay_capacity (" +
+          std::to_string(online_replay_capacity) + ")");
+    }
+    if (online_min_transitions > online_replay_capacity) {
+      return Status::InvalidArgument(
+          "online_min_transitions (" + std::to_string(online_min_transitions) +
+          ") must not exceed online_replay_capacity (" +
+          std::to_string(online_replay_capacity) +
+          "): the sink could never reach the retrain trigger");
+    }
+    if (online_gradient_steps == 0) {
+      return Status::InvalidArgument(
+          "online_learning requires online_gradient_steps > 0");
+    }
+    if (!(online_learning_rate > 0.0) || !std::isfinite(online_learning_rate)) {
+      return Status::InvalidArgument(
+          "online_learning_rate must be finite and positive");
+    }
+    // Fine-tune rounds copy these trainer fields, so the chokepoint guards
+    // them here: target_sync_every is a modulo divisor and batch_size of 0
+    // would silently turn every round into a no-op.
+    if (trainer.target_sync_every == 0) {
+      return Status::InvalidArgument(
+          "online_learning requires trainer.target_sync_every > 0");
+    }
+    if (trainer.batch_size == 0) {
+      return Status::InvalidArgument(
+          "online_learning requires trainer.batch_size > 0");
+    }
+    if (!(online_gate_tolerance >= 0.0) || !std::isfinite(online_gate_tolerance)) {
+      return Status::InvalidArgument(
+          "online_gate_tolerance must be finite and non-negative");
+    }
+    if (online_trainer_threads > kMaxNumThreads) {
+      return Status::InvalidArgument(
+          "online_trainer_threads must be <= " + std::to_string(kMaxNumThreads) +
+          " (got " + std::to_string(online_trainer_threads) +
+          "; likely an unsigned wrap-around)");
+    }
+  }
   return Status::OK();
 }
 
@@ -83,9 +139,78 @@ MalivaService::MalivaService(Scenario* scenario, ServiceConfig config)
     store_config.shards = config_.shared_store_shards;
     state_.shared_store = std::make_unique<SharedSelectivityStore>(store_config);
   }
+  if (config_status_.ok() && config_.online_learning) {
+    state_.model_registry = std::make_unique<ModelRegistry>();
+    ContinualTrainer::Config trainer_config;
+    trainer_config.min_transitions = config_.online_min_transitions;
+    trainer_config.replay_capacity = config_.online_replay_capacity;
+    trainer_config.replay_shards = config_.online_replay_shards;
+    trainer_config.gradient_steps = config_.online_gradient_steps;
+    trainer_config.batch_size = config_.trainer.batch_size;
+    trainer_config.learning_rate = config_.online_learning_rate;
+    trainer_config.gamma = config_.trainer.gamma;
+    trainer_config.target_sync_every = config_.trainer.target_sync_every;
+    trainer_config.gate_tolerance = config_.online_gate_tolerance;
+    trainer_config.eps_start = config_.trainer.eps_start;
+    trainer_config.eps_end = config_.trainer.eps_end;
+    trainer_config.eps_decay_steps = config_.trainer.eps_decay_steps;
+    trainer_config.seed = config_.trainer.seed ^ 0x6f6e6c696eULL;  // "onlin"
+    trainer_config.background_threads = config_.online_trainer_threads;
+    state_.continual_trainer = std::make_unique<ContinualTrainer>(
+        state_.model_registry.get(), trainer_config);
+  }
 }
 
 MalivaService::~MalivaService() = default;
+
+namespace {
+
+// Agent cache keys, defined once and shared by the strategy builders (below),
+// the strategy -> key mapping of the online plane, and the online-learnable
+// gate — so a renamed key cannot silently strand a strategy on frozen
+// weights.
+constexpr const char kAgentKeyExactAccurate[] = "agent/exact-accurate";
+constexpr const char kAgentKeyExactSampling[] = "agent/exact-sampling";
+constexpr const char kAgentKeyQualityOneStage[] = "agent/quality-one-stage";
+constexpr const char kAgentKeyQualityTwoStage[] = "agent/quality-two-stage";
+
+/// The single table of online-learnable strategies: which strategies read
+/// snapshots, and under which agent key. Single-agent MDP strategies only —
+/// the two-stage rewriter coordinates two agents and serves its frozen
+/// construction-time pair, and the non-agent strategies (baseline/naive/
+/// bao) have nothing to fine-tune. Both lookups below consult this one
+/// table, so the strategy->key map and the learnable-key predicate cannot
+/// drift apart.
+struct OnlineStrategyEntry {
+  const char* strategy;
+  const char* agent_key;
+};
+constexpr OnlineStrategyEntry kOnlineStrategies[] = {
+    {"mdp/accurate", kAgentKeyExactAccurate},
+    {"mdp/sampling", kAgentKeyExactSampling},
+    {"quality/one-stage", kAgentKeyQualityOneStage},
+};
+
+/// Agent cache key an online-enabled request reads its snapshot from
+/// (nullptr = the strategy serves frozen weights).
+const char* OnlineAgentKeyFor(const std::string& strategy) {
+  for (const OnlineStrategyEntry& entry : kOnlineStrategies) {
+    if (strategy == entry.strategy) return entry.agent_key;
+  }
+  return nullptr;
+}
+
+/// True when some strategy can actually serve this key's snapshots; other
+/// keys (e.g. the two-stage pair) are not registered with the online plane
+/// — a v1 snapshot nothing reads would only waste a validation sweep.
+bool IsOnlineLearnableKey(const std::string& cache_key) {
+  for (const OnlineStrategyEntry& entry : kOnlineStrategies) {
+    if (cache_key == entry.agent_key) return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 RewriterEnv MalivaService::MakeEnv(const QueryTimeEstimator* qte, double beta,
                                    const RewriteOptionSet* options) const {
@@ -141,6 +266,12 @@ Result<const QAgent*> MalivaService::TrainedAgent(const std::string& cache_key,
   assert(best != nullptr);
   const QAgent* ptr = best.get();
   state_.agents[cache_key] = std::move(best);
+  // Online plane: the offline-trained weights become snapshot version 1 of
+  // this key's chain, so serving reads the registry from the first request.
+  if (state_.continual_trainer != nullptr && IsOnlineLearnableKey(cache_key)) {
+    state_.continual_trainer->RegisterKey(cache_key, renv, &scenario_->validation,
+                                          *ptr);
+  }
   return ptr;
 }
 
@@ -300,6 +431,22 @@ Result<RewriteResponse> MalivaService::ServeImpl(const RewriteRequest& request,
     session.BindSharedStore(store, &canonical.slot_keys, epoch);
   }
 
+  // Online learning plane: serve the strategy's newest published snapshot
+  // instead of its frozen construction-time weights, and capture the
+  // episode's transitions for the feedback path. The shared_ptr keeps the
+  // snapshot alive for the whole call even if a retrain publishes (or an
+  // operator rolls back) mid-request.
+  ContinualTrainer* online = state_.continual_trainer.get();
+  const char* agent_key = online != nullptr ? OnlineAgentKeyFor(name) : nullptr;
+  PublishedModel model;
+  if (agent_key != nullptr) {
+    model = online->Current(agent_key);
+    if (model) {
+      session.BindAgentOverride(model.agent.get());
+      session.set_capture_transitions(true);
+    }
+  }
+
   RewriteResponse resp;
   resp.strategy = name;
   resp.outcome = strategy.RewriteForSession(*request.query, tau, session);
@@ -348,6 +495,21 @@ Result<RewriteResponse> MalivaService::ServeImpl(const RewriteRequest& request,
     }
   }
 
+  // Online feedback: hand the observed transitions to the replay sink in one
+  // batch and stamp the snapshot version that produced the final decision.
+  // A quality-floor fallback was re-served by the frozen "baseline"
+  // strategy, so the stamp stays 0 there (the documented frozen-weights
+  // value) — but the abandoned MDP attempt's transitions are still real
+  // observed feedback and are recorded either way.
+  if (model) {
+    if (!resp.exact_fallback) {
+      resp.stats.agent_snapshot_version = model.snapshot->meta().version;
+    }
+    if (!session.transitions().empty()) {
+      online->Record(agent_key, session.TakeTransitions());
+    }
+  }
+
   resp.rewritten_sql =
       resp.option != nullptr
           ? RewrittenQuery{request.query, *resp.option}.ToString()
@@ -363,6 +525,19 @@ ServiceStats MalivaService::Stats() const {
     stats.store_size = state_.shared_store->Size();
     stats.store_evictions = state_.shared_store->Evictions();
     stats.store_epoch = scenario_->engine->catalog_version();
+  }
+  // online_* fields stay identically zero while the plane is off (the
+  // documented ServiceStats contract, mirroring the store_* fields).
+  if (state_.continual_trainer != nullptr) {
+    ContinualTrainer::StatsSnapshot online = state_.continual_trainer->Snapshot();
+    stats.online_transitions = online.transitions_recorded;
+    stats.online_transitions_dropped = online.transitions_dropped;
+    stats.online_transitions_pending = online.transitions_pending;
+    stats.online_retrains = online.retrains_published;
+    stats.online_rejected = online.retrains_rejected;
+    stats.online_snapshot_version = online.snapshot_version;
+    stats.last_retrain_reward_pre = online.last_reward_pre;
+    stats.last_retrain_reward_post = online.last_reward_post;
   }
   return stats;
 }
@@ -497,7 +672,7 @@ Result<std::unique_ptr<Rewriter>> BuildNaive(MalivaService& s) {
 
 Result<std::unique_ptr<Rewriter>> BuildMdpAccurate(MalivaService& s) {
   RewriterEnv renv = s.MakeEnv(s.accurate_qte());
-  Result<const QAgent*> agent = s.TrainedAgent("agent/exact-accurate", renv);
+  Result<const QAgent*> agent = s.TrainedAgent(kAgentKeyExactAccurate, renv);
   if (!agent.ok()) return agent.status();
   return std::unique_ptr<Rewriter>(std::make_unique<MalivaRewriter>(
       renv, agent.value(), "MDP (Accurate-QTE)"));
@@ -505,7 +680,7 @@ Result<std::unique_ptr<Rewriter>> BuildMdpAccurate(MalivaService& s) {
 
 Result<std::unique_ptr<Rewriter>> BuildMdpSampling(MalivaService& s) {
   RewriterEnv renv = s.MakeEnv(s.sampling_qte());
-  Result<const QAgent*> agent = s.TrainedAgent("agent/exact-sampling", renv);
+  Result<const QAgent*> agent = s.TrainedAgent(kAgentKeyExactSampling, renv);
   if (!agent.ok()) return agent.status();
   return std::unique_ptr<Rewriter>(std::make_unique<MalivaRewriter>(
       renv, agent.value(), "MDP (Approx-QTE)"));
@@ -527,7 +702,7 @@ Result<std::unique_ptr<Rewriter>> BuildOneStageQuality(MalivaService& s) {
   const RewriteOptionSet* options = s.InternOptionSet(
       CrossWithApproxRules(s.scenario()->options, rules, /*include_exact=*/true));
   RewriterEnv renv = s.MakeEnv(s.accurate_qte(), s.config().beta, options);
-  Result<const QAgent*> agent = s.TrainedAgent("agent/quality-one-stage", renv);
+  Result<const QAgent*> agent = s.TrainedAgent(kAgentKeyQualityOneStage, renv);
   if (!agent.ok()) return agent.status();
   return std::unique_ptr<Rewriter>(std::make_unique<MalivaRewriter>(
       renv, agent.value(), "1-stage MDP (Accu-QTE)"));
@@ -541,7 +716,7 @@ Result<std::unique_ptr<Rewriter>> BuildTwoStageQuality(MalivaService& s) {
   // Stage 1: exact options with the efficiency-only reward; the agent is
   // shared with "mdp/accurate".
   RewriterEnv exact_env = s.MakeEnv(s.accurate_qte());
-  Result<const QAgent*> exact_agent = s.TrainedAgent("agent/exact-accurate", exact_env);
+  Result<const QAgent*> exact_agent = s.TrainedAgent(kAgentKeyExactAccurate, exact_env);
   if (!exact_agent.ok()) return exact_agent.status();
 
   // Stage 2: approximate combinations with the quality-aware reward.
@@ -549,7 +724,7 @@ Result<std::unique_ptr<Rewriter>> BuildTwoStageQuality(MalivaService& s) {
       CrossWithApproxRules(s.scenario()->options, rules, /*include_exact=*/false));
   RewriterEnv approx_env = s.MakeEnv(s.accurate_qte(), s.config().beta, approx_options);
   Result<const QAgent*> approx_agent =
-      s.TrainedAgent("agent/quality-two-stage", approx_env);
+      s.TrainedAgent(kAgentKeyQualityTwoStage, approx_env);
   if (!approx_agent.ok()) return approx_agent.status();
 
   return std::unique_ptr<Rewriter>(std::make_unique<TwoStageRewriter>(

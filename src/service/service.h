@@ -29,6 +29,13 @@
 //     epoch-tagged to the engine catalog version). With it on, determinism
 //     is per-request given a fixed store snapshot; off preserves the
 //     byte-identical-at-any-thread-count contract above.
+//   * online learning plane (optional, ServiceConfig::online_learning) —
+//     single-agent MDP strategies serve the newest published AgentSnapshot
+//     from a ModelRegistry instead of frozen weights; served episodes feed
+//     observed transitions to a bounded replay sink, and a background
+//     ContinualTrainer fine-tunes a cloned agent on them, publishing a new
+//     snapshot version behind a validation gate. Off preserves byte-identity
+//     above; on keeps each request deterministic given its snapshot.
 
 #ifndef MALIVA_SERVICE_SERVICE_H_
 #define MALIVA_SERVICE_SERVICE_H_
@@ -100,6 +107,45 @@ struct ServiceConfig {
   /// (SignatureOptions::literal_bins). Must be >= 1 when the cache is on.
   int signature_literal_bins = SignatureOptions{}.literal_bins;
 
+  /// Online learning plane (DESIGN.md "Online learning plane"). Off
+  /// (default): agents stay frozen after warm-up and ServeBatch results are
+  /// byte-identical to pre-online behavior at every thread count. On:
+  /// single-agent MDP strategies serve the newest published AgentSnapshot
+  /// from a ModelRegistry, every served episode's transitions feed a
+  /// bounded replay sink, and a background ContinualTrainer periodically
+  /// fine-tunes a cloned agent on that feedback, publishing a new snapshot
+  /// version when the validation gate passes. Each request stays
+  /// deterministic given the snapshot it was served under.
+  bool online_learning = false;
+  /// Buffered transitions that trigger a background fine-tune round. Must
+  /// be > 0 when online learning is on.
+  size_t online_min_transitions = 512;
+  /// Replay sink bound per agent key (oldest transitions dropped beyond it)
+  /// and its lock shards. capacity must be > 0 and shards in [1, capacity]
+  /// when online learning is on.
+  size_t online_replay_capacity = 16384;
+  size_t online_replay_shards = 8;
+  /// Minibatch updates per fine-tune round. Must be > 0 when online
+  /// learning is on; batch size / discount / target-sync cadence come from
+  /// `trainer`.
+  size_t online_gradient_steps = 48;
+  /// Adam step size of fine-tune rounds, separate from the offline
+  /// `trainer.learning_rate` (continual fine-tuning conventionally steps
+  /// smaller than from-scratch training). Must be finite and > 0 when
+  /// online learning is on.
+  double online_learning_rate = 5e-4;
+  /// Validation gate slack: a fine-tuned clone is published only when its
+  /// mean greedy validation reward stays within this tolerance of the
+  /// *offline warm-up snapshot's* reward on the same split — a fixed bar,
+  /// so successive rounds keep adapting to drift while catastrophic
+  /// forgetting of the base distribution is refused. Must be finite and
+  /// >= 0 when online learning is on; 0 demands the warm-up level itself.
+  double online_gate_tolerance = 0.05;
+  /// Background fine-tune workers (0 = no background retraining; rounds
+  /// then run only via ContinualTrainer::RetrainNow). Bounded by
+  /// kMaxNumThreads like num_threads.
+  size_t online_trainer_threads = 1;
+
   /// Upper bound Validate() accepts for num_threads.
   static constexpr size_t kMaxNumThreads = 4096;
 
@@ -163,6 +209,38 @@ struct ServiceConfig {
     signature_literal_bins = bins;
     return *this;
   }
+  ServiceConfig& WithOnlineLearning(bool enabled) {
+    online_learning = enabled;
+    return *this;
+  }
+  ServiceConfig& WithOnlineMinTransitions(size_t transitions) {
+    online_min_transitions = transitions;
+    return *this;
+  }
+  ServiceConfig& WithOnlineReplayCapacity(size_t capacity) {
+    online_replay_capacity = capacity;
+    return *this;
+  }
+  ServiceConfig& WithOnlineReplayShards(size_t shards) {
+    online_replay_shards = shards;
+    return *this;
+  }
+  ServiceConfig& WithOnlineGradientSteps(size_t steps) {
+    online_gradient_steps = steps;
+    return *this;
+  }
+  ServiceConfig& WithOnlineLearningRate(double rate) {
+    online_learning_rate = rate;
+    return *this;
+  }
+  ServiceConfig& WithOnlineGateTolerance(double tolerance) {
+    online_gate_tolerance = tolerance;
+    return *this;
+  }
+  ServiceConfig& WithOnlineTrainerThreads(size_t threads) {
+    online_trainer_threads = threads;
+    return *this;
+  }
 };
 
 /// One rewriting request.
@@ -193,6 +271,9 @@ struct RequestStats {
   size_t shared_hits = 0;
   /// New entries this request contributed to the shared store.
   size_t shared_published = 0;
+  /// Version of the agent snapshot that served this request; 0 when the
+  /// online learning plane is off or the strategy serves frozen weights.
+  uint64_t agent_snapshot_version = 0;
   /// Host wall-clock serving latency, milliseconds.
   double serve_wall_ms = 0.0;
 };
@@ -275,9 +356,18 @@ class MalivaService {
 
   /// Snapshot of the serving counters (requests, errors, fallbacks, shared
   /// hits vs local collections, wall latency) plus the shared store's size,
-  /// evictions, and current epoch. Thread-safe; each counter is individually
-  /// exact, the snapshot is not a single atomic cut.
+  /// evictions, and current epoch, and — with online learning on — the
+  /// newest agent snapshot version, transitions collected, retrain counts,
+  /// and the last round's pre/post validation rewards. Thread-safe; each
+  /// counter is individually exact, the snapshot is not a single atomic cut.
   ServiceStats Stats() const;
+
+  /// Online learning plane accessors (null while
+  /// ServiceConfig::online_learning is off). The trainer exposes
+  /// RetrainNow/WaitIdle for deterministic test/bench control; the registry
+  /// exposes snapshot chains and Rollback.
+  ContinualTrainer* online_trainer() const { return state_.continual_trainer.get(); }
+  ModelRegistry* model_registry() const { return state_.model_registry.get(); }
 
   Scenario* scenario() { return scenario_; }
   const Scenario* scenario() const { return scenario_; }

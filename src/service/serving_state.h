@@ -28,6 +28,8 @@
 #include "qte/sampling_qte.h"
 #include "qte/shared_selectivity_store.h"
 #include "quality/quality.h"
+#include "service/continual_trainer.h"
+#include "service/model_registry.h"
 
 namespace maliva {
 
@@ -62,6 +64,16 @@ struct ServingState {
   /// internally synchronized (sharded shared_mutex), so the exception does
   /// not leak into the locking protocol above.
   std::unique_ptr<SharedSelectivityStore> shared_store;
+
+  /// Online learning plane (both null while ServiceConfig::online_learning
+  /// is off). Like the shared store, these are internally synchronized
+  /// exceptions to the frozen-after-warm-up rule: serving threads read
+  /// snapshots from the registry and feed transitions to the trainer, while
+  /// the trainer's background pool publishes new snapshot versions. The
+  /// trainer references the registry, so it is declared after it (destroyed
+  /// first, joining in-flight fine-tune rounds).
+  std::unique_ptr<ModelRegistry> model_registry;
+  std::unique_ptr<ContinualTrainer> continual_trainer;
 };
 
 }  // namespace maliva

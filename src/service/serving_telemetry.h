@@ -38,6 +38,21 @@ struct ServiceStats {
   uint64_t store_evictions = 0;          ///< FIFO evictions so far
   uint64_t store_epoch = 0;              ///< engine catalog version at snapshot
 
+  // Online learning plane (identically zero while ServiceConfig::
+  // online_learning is off). online_snapshot_version is the newest
+  // published agent snapshot across agent keys (1 = offline warm-up weights
+  // only); the last_retrain_* rewards are the validation gate's evidence
+  // from the most recent fine-tune round, whether it published or was
+  // rejected.
+  uint64_t online_transitions = 0;       ///< serving transitions recorded
+  uint64_t online_transitions_dropped = 0;  ///< evicted before training
+  uint64_t online_transitions_pending = 0;  ///< buffered, awaiting a round
+  uint64_t online_retrains = 0;          ///< fine-tune rounds published
+  uint64_t online_rejected = 0;          ///< rounds the validation gate refused
+  uint64_t online_snapshot_version = 0;  ///< newest agent snapshot version
+  double last_retrain_reward_pre = 0.0;  ///< incumbent validation reward
+  double last_retrain_reward_post = 0.0; ///< fine-tuned clone's reward
+
   double serve_wall_ms_total = 0.0;  ///< summed host wall-clock serve latency
 
   /// Fraction of needed selectivities that came free from the shared store.

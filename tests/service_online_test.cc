@@ -1,0 +1,364 @@
+// Online learning plane tests at the service layer. The suite name carries
+// "Service" so the scripts/ci.sh sanitizer legs (-R 'Service|Concurrency')
+// run it — the serve+retrain stress test below is the TSan/ASan coverage of
+// the ModelRegistry / ContinualTrainer / ShardedReplaySink interplay.
+//
+// Covered contracts:
+//   * off (default): ServeBatch results stay byte-identical at 1/4/8
+//     threads, and online-on-before-any-retrain serves decisions identical
+//     to the frozen service (snapshot v1 is a faithful clone);
+//   * snapshot versions only move up under concurrent serve + background
+//     retrain pressure;
+//   * a failed validation gate leaves the serving snapshot untouched, and
+//     ModelRegistry::Rollback restores the predecessor (never past v1);
+//   * ServiceConfig::Validate() rejects online-knob pathologies.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "service/service.h"
+
+namespace maliva {
+namespace {
+
+class ServiceOnlineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ScenarioConfig cfg;
+    cfg.kind = DatasetKind::kTwitter;
+    cfg.num_rows = 20000;
+    cfg.num_queries = 120;
+    cfg.tau_ms = 500.0;
+    cfg.seed = 151;
+    scenario_ = new Scenario(BuildScenario(cfg));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+
+  static ServiceConfig SmallConfig() {
+    return ServiceConfig().WithTrainerIterations(3).WithAgentSeeds(1);
+  }
+
+  static std::vector<RewriteRequest> MdpRequests(size_t n) {
+    std::vector<RewriteRequest> requests;
+    requests.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      RewriteRequest req;
+      req.query = scenario_->evaluation[i % scenario_->evaluation.size()];
+      req.strategy = "mdp/accurate";
+      requests.push_back(req);
+    }
+    return requests;
+  }
+
+  static void ExpectSameDecision(const Result<RewriteResponse>& a,
+                                 const Result<RewriteResponse>& b) {
+    ASSERT_EQ(a.ok(), b.ok());
+    if (!a.ok()) {
+      EXPECT_EQ(a.status().code(), b.status().code());
+      return;
+    }
+    const RewriteResponse& ra = a.value();
+    const RewriteResponse& rb = b.value();
+    EXPECT_EQ(ra.strategy, rb.strategy);
+    EXPECT_EQ(ra.rewritten_sql, rb.rewritten_sql);
+    EXPECT_EQ(ra.outcome.option_index, rb.outcome.option_index);
+    EXPECT_EQ(ra.outcome.planning_ms, rb.outcome.planning_ms);
+    EXPECT_EQ(ra.outcome.exec_ms, rb.outcome.exec_ms);
+    EXPECT_EQ(ra.outcome.total_ms, rb.outcome.total_ms);
+    EXPECT_EQ(ra.outcome.viable, rb.outcome.viable);
+    EXPECT_EQ(ra.outcome.steps, rb.outcome.steps);
+    EXPECT_EQ(ra.outcome.quality, rb.outcome.quality);
+  }
+
+  static Scenario* scenario_;
+};
+
+Scenario* ServiceOnlineTest::scenario_ = nullptr;
+
+TEST_F(ServiceOnlineTest, OffModeStaysByteIdenticalAcrossThreadCounts) {
+  // Regression of the PR 2/3 contract with the online code paths compiled
+  // in but disabled: identical results at 1/4/8 threads, no online
+  // telemetry, no snapshot versions on responses.
+  std::vector<RewriteRequest> requests = MdpRequests(48);
+  std::vector<Result<RewriteResponse>> reference;
+  for (size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    MalivaService service(scenario_, SmallConfig().WithNumThreads(threads));
+    ASSERT_TRUE(service.Warmup({"mdp/accurate"}).ok());
+    std::vector<Result<RewriteResponse>> responses = service.ServeBatch(requests);
+    ASSERT_EQ(responses.size(), requests.size());
+    for (const Result<RewriteResponse>& resp : responses) {
+      ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+      EXPECT_EQ(resp.value().stats.agent_snapshot_version, 0u);
+    }
+    if (threads == 1) {
+      reference = std::move(responses);
+    } else {
+      for (size_t i = 0; i < requests.size(); ++i) {
+        ExpectSameDecision(reference[i], responses[i]);
+      }
+    }
+    ServiceStats stats = service.Stats();
+    EXPECT_EQ(stats.online_snapshot_version, 0u);
+    EXPECT_EQ(stats.online_transitions, 0u);
+    EXPECT_EQ(stats.online_retrains, 0u);
+    EXPECT_EQ(service.online_trainer(), nullptr);
+    EXPECT_EQ(service.model_registry(), nullptr);
+  }
+}
+
+TEST_F(ServiceOnlineTest, SnapshotV1ServesDecisionsIdenticalToFrozen) {
+  MalivaService frozen(scenario_, SmallConfig());
+  // No background workers: the plane is on but no round can fire, so the
+  // online service keeps serving the offline warm-up clone.
+  MalivaService online(scenario_, SmallConfig()
+                                      .WithOnlineLearning(true)
+                                      .WithOnlineTrainerThreads(0));
+  ASSERT_TRUE(frozen.Warmup({"mdp/accurate"}).ok());
+  ASSERT_TRUE(online.Warmup({"mdp/accurate"}).ok());
+
+  std::vector<RewriteRequest> requests = MdpRequests(32);
+  std::vector<Result<RewriteResponse>> a = frozen.ServeBatch(requests);
+  std::vector<Result<RewriteResponse>> b = online.ServeBatch(requests);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ExpectSameDecision(a[i], b[i]);
+    ASSERT_TRUE(b[i].ok());
+    EXPECT_EQ(b[i].value().stats.agent_snapshot_version, 1u);
+  }
+
+  ServiceStats stats = online.Stats();
+  EXPECT_EQ(stats.online_snapshot_version, 1u);
+  EXPECT_GT(stats.online_transitions, 0u);  // feedback flows even before retrains
+  EXPECT_EQ(stats.online_retrains, 0u);
+  ASSERT_NE(online.model_registry(), nullptr);
+  EXPECT_EQ(online.model_registry()->CurrentVersion("agent/exact-accurate"), 1u);
+}
+
+TEST_F(ServiceOnlineTest, SnapshotVersionMonotonicUnderServeRetrainStress) {
+  // 8 serving threads + background fine-tunes with a low trigger threshold:
+  // versions observed by requests and by Stats() must only move up. This is
+  // the suite's TSan/ASan stress leg.
+  MalivaService service(scenario_, SmallConfig()
+                                       .WithOnlineLearning(true)
+                                       .WithOnlineMinTransitions(64)
+                                       .WithOnlineGradientSteps(8)
+                                       .WithOnlineGateTolerance(10.0)
+                                       .WithNumThreads(8));
+  ASSERT_TRUE(service.Warmup({"mdp/accurate"}).ok());
+
+  std::vector<RewriteRequest> requests = MdpRequests(64);
+  uint64_t last_version = 0;
+  for (int round = 0; round < 6; ++round) {
+    std::vector<Result<RewriteResponse>> responses = service.ServeBatch(requests);
+    for (const Result<RewriteResponse>& resp : responses) {
+      ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+      EXPECT_GE(resp.value().stats.agent_snapshot_version, 1u);
+    }
+    uint64_t version = service.Stats().online_snapshot_version;
+    EXPECT_GE(version, last_version);
+    last_version = version;
+  }
+  service.online_trainer()->WaitIdle();
+
+  ServiceStats stats = service.Stats();
+  EXPECT_GE(stats.online_snapshot_version, last_version);
+  EXPECT_GT(stats.online_transitions, 0u);
+  // The gate tolerance is wide open, so crossing the trigger threshold six
+  // batches in a row must have published at least one fine-tune.
+  EXPECT_GE(stats.online_retrains, 1u);
+  EXPECT_EQ(stats.online_snapshot_version, 1u + stats.online_retrains);
+}
+
+TEST_F(ServiceOnlineTest, FailedValidationGateKeepsServingOldSnapshot) {
+  // Strict gate + adversarial feedback: the fine-tuned clone must validate
+  // below the warm-up bar, so the round consumes the feedback, rejects the
+  // clone, and leaves version 1 live. The poison teaches the clone to
+  // *invert* the incumbent's preferences (reward -5 for its best action, +5
+  // for its worst, over random states) — a reliably terrible policy on any
+  // scenario, unlike "absurd learning rate" destruction, whose degenerate
+  // fixed-order policies can accidentally score well on easy validation
+  // splits. One Record call keeps the reservoir order deterministic.
+  // 16 rewrite options under a 250ms budget make exploration order matter.
+  ScenarioConfig cfg;
+  cfg.kind = DatasetKind::kTwitter;
+  cfg.num_rows = 20000;
+  cfg.num_queries = 120;
+  cfg.num_attrs = 4;  // 16 rewrite options
+  cfg.tau_ms = 250.0;
+  cfg.seed = 151;
+  Scenario scenario = BuildScenario(cfg);
+  MalivaService service(&scenario, SmallConfig()
+                                       .WithTrainerIterations(6)
+                                       .WithNumThreads(1)
+                                       .WithOnlineLearning(true)
+                                       .WithOnlineGradientSteps(256)
+                                       .WithOnlineLearningRate(1e-2)
+                                       .WithOnlineGateTolerance(0.0)
+                                       .WithOnlineTrainerThreads(0));
+  ASSERT_TRUE(service.Warmup({"mdp/accurate"}).ok());
+  const std::string key = "agent/exact-accurate";
+  PublishedModel incumbent = service.online_trainer()->Current(key);
+  ASSERT_TRUE(incumbent);
+  const size_t num_actions = incumbent.agent->num_actions();
+  const size_t feature_dim = 2 * num_actions + 1;
+
+  std::mt19937_64 gen(7);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  std::vector<Experience> poison;
+  for (int i = 0; i < 512; ++i) {
+    std::vector<double> state(feature_dim);
+    for (double& v : state) v = uniform(gen);
+    std::vector<double> q = incumbent.agent->QValues(state);
+    size_t best = 0;
+    size_t worst = 0;
+    for (size_t a = 1; a < q.size(); ++a) {
+      if (q[a] > q[best]) best = a;
+      if (q[a] < q[worst]) worst = a;
+    }
+    Experience bad;
+    bad.state = state;
+    bad.action = static_cast<int>(best);
+    bad.reward = -5.0;
+    bad.terminal = true;
+    bad.next_state = state;
+    bad.next_valid.assign(num_actions, 0);
+    Experience good = bad;
+    good.action = static_cast<int>(worst);
+    good.reward = 5.0;
+    poison.push_back(std::move(bad));
+    poison.push_back(std::move(good));
+  }
+  service.online_trainer()->Record(key, std::move(poison));
+  ASSERT_GT(service.Stats().online_transitions_pending, 0u);
+
+  EXPECT_FALSE(service.online_trainer()->RetrainNow(key));
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.online_rejected, 1u);
+  EXPECT_EQ(stats.online_retrains, 0u);
+  EXPECT_EQ(stats.online_snapshot_version, 1u);
+  EXPECT_LT(stats.last_retrain_reward_post, stats.last_retrain_reward_pre);
+  EXPECT_EQ(stats.online_transitions_pending, 0u);  // feedback was consumed
+
+  // Requests keep being served by the untouched version-1 snapshot.
+  RewriteRequest req;
+  req.query = scenario.evaluation[0];
+  req.strategy = "mdp/accurate";
+  Result<RewriteResponse> resp = service.Serve(req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().stats.agent_snapshot_version, 1u);
+}
+
+TEST_F(ServiceOnlineTest, RegistryRollbackRestoresPredecessorButNeverV1) {
+  MalivaService service(scenario_, SmallConfig()
+                                       .WithOnlineLearning(true)
+                                       .WithOnlineTrainerThreads(0)
+                                       .WithOnlineGradientSteps(4)
+                                       .WithOnlineGateTolerance(10.0));
+  ASSERT_TRUE(service.Warmup({"mdp/accurate"}).ok());
+  ModelRegistry* registry = service.model_registry();
+  ASSERT_NE(registry, nullptr);
+  const std::string key = "agent/exact-accurate";
+
+  // Publish version 2 through a real (wide-open gate) fine-tune round.
+  std::vector<RewriteRequest> requests = MdpRequests(32);
+  for (const Result<RewriteResponse>& resp : service.ServeBatch(requests)) {
+    ASSERT_TRUE(resp.ok());
+  }
+  ASSERT_TRUE(service.online_trainer()->RetrainNow(key));
+  ASSERT_EQ(registry->CurrentVersion(key), 2u);
+  ASSERT_EQ(registry->ChainLength(key), 2u);
+  EXPECT_EQ(registry->Current(key).snapshot->meta().retrain_round, 1u);
+
+  // Rollback restores version 1; requests in flight would keep their own
+  // shared_ptr, new requests see the predecessor.
+  EXPECT_TRUE(registry->Rollback(key));
+  EXPECT_EQ(registry->CurrentVersion(key), 1u);
+  Result<RewriteResponse> resp = service.Serve(requests[0]);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().stats.agent_snapshot_version, 1u);
+
+  // The offline warm-up snapshot is never rolled back away.
+  EXPECT_FALSE(registry->Rollback(key));
+  EXPECT_EQ(registry->CurrentVersion(key), 1u);
+  EXPECT_FALSE(registry->Rollback("definitely/unknown-key"));
+
+  // A later publish does not reuse the rolled-back version number.
+  for (const Result<RewriteResponse>& r : service.ServeBatch(requests)) {
+    ASSERT_TRUE(r.ok());
+  }
+  ASSERT_TRUE(service.online_trainer()->RetrainNow(key));
+  EXPECT_EQ(registry->CurrentVersion(key), 3u);
+}
+
+TEST_F(ServiceOnlineTest, ValidateRejectsOnlinePathologies) {
+  EXPECT_TRUE(ServiceConfig().WithOnlineLearning(true).Validate().ok());
+
+  auto expect_invalid = [](const ServiceConfig& config) {
+    Status st = config.Validate();
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), Status::Code::kInvalidArgument);
+  };
+  expect_invalid(ServiceConfig().WithOnlineLearning(true).WithOnlineMinTransitions(0));
+  expect_invalid(ServiceConfig().WithOnlineLearning(true).WithOnlineReplayCapacity(0));
+  expect_invalid(ServiceConfig().WithOnlineLearning(true).WithOnlineReplayShards(0));
+  expect_invalid(ServiceConfig()
+                     .WithOnlineLearning(true)
+                     .WithOnlineReplayCapacity(4)
+                     .WithOnlineReplayShards(8));
+  // A trigger threshold the bounded sink can never reach would make the
+  // plane silently inert.
+  expect_invalid(ServiceConfig()
+                     .WithOnlineLearning(true)
+                     .WithOnlineReplayCapacity(256)
+                     .WithOnlineMinTransitions(512));
+  expect_invalid(ServiceConfig().WithOnlineLearning(true).WithOnlineGradientSteps(0));
+  expect_invalid(
+      ServiceConfig().WithOnlineLearning(true).WithOnlineLearningRate(0.0));
+  expect_invalid(
+      ServiceConfig().WithOnlineLearning(true).WithOnlineLearningRate(-1.0));
+  expect_invalid(
+      ServiceConfig().WithOnlineLearning(true).WithOnlineGateTolerance(-0.5));
+  expect_invalid(ServiceConfig().WithOnlineLearning(true).WithOnlineTrainerThreads(
+      static_cast<size_t>(-1)));
+  // Trainer fields the fine-tune rounds copy are guarded too (a zero
+  // target_sync_every would be a modulo divisor of zero).
+  {
+    ServiceConfig config = ServiceConfig().WithOnlineLearning(true);
+    config.trainer.target_sync_every = 0;
+    expect_invalid(config);
+    EXPECT_TRUE(ServiceConfig{config}.WithOnlineLearning(false).Validate().ok());
+  }
+  {
+    ServiceConfig config = ServiceConfig().WithOnlineLearning(true);
+    config.trainer.batch_size = 0;
+    expect_invalid(config);
+  }
+
+  // With the plane off, online knob values are inert and not rejected.
+  EXPECT_TRUE(ServiceConfig().WithOnlineMinTransitions(0).Validate().ok());
+}
+
+TEST_F(ServiceOnlineTest, NonAgentStrategiesServeFrozenUnderOnlineMode) {
+  MalivaService service(scenario_, SmallConfig()
+                                       .WithOnlineLearning(true)
+                                       .WithOnlineTrainerThreads(0));
+  RewriteRequest req;
+  req.query = scenario_->evaluation[0];
+  for (const char* strategy : {"baseline", "naive", "bao"}) {
+    req.strategy = strategy;
+    Result<RewriteResponse> resp = service.Serve(req);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    EXPECT_EQ(resp.value().stats.agent_snapshot_version, 0u);
+  }
+  EXPECT_EQ(service.Stats().online_transitions, 0u);
+}
+
+}  // namespace
+}  // namespace maliva
