@@ -1,15 +1,17 @@
-// Quickstart: build a small Twitter-like scenario, stand up a MalivaService,
+// Quickstart: build a small Twitter-like scenario, host it in a MalivaFleet,
 // and rewrite visualization queries under a 500ms budget.
 //
 //   $ ./build/quickstart
 //
-// Walks through the full public API: scenario assembly, service
-// configuration, strategy selection by name, per-request budgets, and
-// batched serving.
+// Walks through the full public API: scenario assembly, fleet configuration,
+// scenario registration (with background warm-up), strategy selection by
+// name, per-request budgets, and batched serving. A single-shard fleet is a
+// drop-in MalivaService — requests need no routing key until a second
+// scenario is registered (see bench/bench_fleet_mixed.cc for that).
 
 #include <cstdio>
 
-#include "service/service.h"
+#include "service/service_fleet.h"
 
 using namespace maliva;
 
@@ -25,14 +27,27 @@ int main() {
   cfg.tau_ms = 500.0;
   Scenario scenario = BuildScenario(cfg);
 
-  // 2. Stand up the service. Strategies are built (and their agents trained,
-  //    Algorithm 1) lazily the first time a request names them.
-  MalivaService service(
-      &scenario, ServiceConfig().WithTrainerIterations(20).WithAgentSeeds(1));
+  // 2. Stand up the fleet and register the scenario under a routing key.
+  //    Registration schedules a background warm-up of the named strategies
+  //    (agents train off the serving path, Algorithm 1); WaitWarmups makes
+  //    this walkthrough deterministic, but serving would work without it —
+  //    cold strategies build lazily on first use.
+  MalivaFleet fleet(FleetConfig()
+                        .WithDefaults(ServiceConfig()
+                                          .WithTrainerIterations(20)
+                                          .WithAgentSeeds(1))
+                        .WithWarmupStrategies({"mdp/accurate", "baseline"}));
+  if (Status st = fleet.RegisterScenario("tweets", &scenario); !st.ok()) {
+    std::printf("register failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("Warming up the \"tweets\" shard (training in the background)...\n");
+  fleet.WaitWarmups();
 
   // 3. Serve a batch: every evaluation query once through the MDP rewriter
-  //    and once through the no-rewriting baseline.
-  std::printf("Serving evaluation queries (training on first use)...\n");
+  //    and once through the no-rewriting baseline. With one registered
+  //    scenario the routing key can stay empty.
+  std::printf("Serving evaluation queries...\n");
   std::vector<RewriteRequest> requests;
   for (const Query* q : scenario.evaluation) {
     RewriteRequest mdp;
@@ -44,7 +59,7 @@ int main() {
     base.strategy = "baseline";
     requests.push_back(base);
   }
-  std::vector<Result<RewriteResponse>> responses = service.ServeBatch(requests);
+  std::vector<Result<RewriteResponse>> responses = fleet.ServeBatch(requests);
 
   std::printf("\n%-6s %-11s %-11s %-9s %-9s\n", "query", "baseline(s)", "maliva(s)",
               "b.viable", "m.viable");
@@ -66,13 +81,14 @@ int main() {
     ++shown;
   }
 
-  // 4. Inspect one rewriting in detail: per-request budget override and the
-  //    chosen hint set rendered as SQL.
+  // 4. Inspect one rewriting in detail: explicit routing key, per-request
+  //    budget override, and the chosen hint set rendered as SQL.
   RewriteRequest req;
+  req.scenario = "tweets";
   req.query = scenario.evaluation[0];
   req.strategy = "mdp/accurate";
   req.tau_ms = 750.0;  // this dashboard tile tolerates a slower refresh
-  Result<RewriteResponse> resp = service.Serve(req);
+  Result<RewriteResponse> resp = fleet.Serve(req);
   if (!resp.ok()) {
     std::printf("serve failed: %s\n", resp.status().ToString().c_str());
     return 1;
@@ -86,11 +102,13 @@ int main() {
               out.exec_ms, out.total_ms, out.viable ? "within" : "exceeds",
               *req.tau_ms);
 
-  // 5. The factory knows every registered strategy by name.
-  std::printf("\nRegistered strategies:");
-  for (const std::string& name : service.RegisteredStrategies()) {
-    std::printf(" %s", name.c_str());
+  // 5. Fleet introspection: the hosted scenarios and their lifecycle state.
+  std::printf("\nHosted scenarios:\n");
+  for (const ScenarioInfo& info : fleet.ListScenarios()) {
+    std::printf("  %-8s %-8s dataset=%s served=%llu warmup=%s\n", info.id.c_str(),
+                ShardStateName(info.state), info.dataset.c_str(),
+                static_cast<unsigned long long>(info.requests),
+                info.warmup.ok() ? "ok" : info.warmup.ToString().c_str());
   }
-  std::printf("\n");
   return 0;
 }

@@ -79,10 +79,11 @@ cmake -B build -S . -DMALIVA_SERVICE_WERROR=ON
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
-# Both sanitizer legs run the service + concurrency suites (which include
-# the SharedSelectivityStore stress test) — training-heavy suites are slow
-# under sanitizers and exercise no additional threading or ownership.
-sanitizer_suites='Service|Concurrency'
+# Both sanitizer legs run the service + concurrency + fleet suites (which
+# include the SharedSelectivityStore stress test and the shard plane's
+# register/serve/drain stress test) — training-heavy suites are slow under
+# sanitizers and exercise no additional threading or ownership.
+sanitizer_suites='Service|Concurrency|Fleet'
 
 if [[ "$run_tsan" == 1 ]]; then
   # TSan pass over the concurrent serving core: parallel ServeBatch, lazy

@@ -45,7 +45,9 @@ class ModelRegistry {
   /// floor) plus the most recent versions are kept, older middles are
   /// pruned on publish — a long-running service must not accumulate every
   /// superseded model ever published. In-flight requests holding a pruned
-  /// version keep it alive through their own shared_ptr. Minimum 2.
+  /// version keep it alive through their own shared_ptr. Minimum 2; the
+  /// service layer exposes this as ServiceConfig::online_max_snapshots
+  /// (Validate()-guarded there, clamped here for standalone use).
   explicit ModelRegistry(size_t max_retained_per_key = 8)
       : max_retained_per_key_(max_retained_per_key < 2 ? 2 : max_retained_per_key) {}
   ModelRegistry(const ModelRegistry&) = delete;
@@ -86,6 +88,9 @@ class ModelRegistry {
   uint64_t MaxVersion() const;
 
   std::vector<std::string> Keys() const;
+
+  /// Chain bound in effect (post-clamp).
+  size_t max_retained_per_key() const { return max_retained_per_key_; }
 
  private:
   struct Chain {

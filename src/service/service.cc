@@ -109,6 +109,12 @@ Status ServiceConfig::Validate() const {
           " (got " + std::to_string(online_trainer_threads) +
           "; likely an unsigned wrap-around)");
     }
+    if (online_max_snapshots < 2) {
+      return Status::InvalidArgument(
+          "online_max_snapshots must be >= 2 (the warm-up snapshot, version 1, "
+          "plus the serving head; got " + std::to_string(online_max_snapshots) +
+          ")");
+    }
   }
   return Status::OK();
 }
@@ -140,7 +146,8 @@ MalivaService::MalivaService(Scenario* scenario, ServiceConfig config)
     state_.shared_store = std::make_unique<SharedSelectivityStore>(store_config);
   }
   if (config_status_.ok() && config_.online_learning) {
-    state_.model_registry = std::make_unique<ModelRegistry>();
+    state_.model_registry =
+        std::make_unique<ModelRegistry>(config_.online_max_snapshots);
     ContinualTrainer::Config trainer_config;
     trainer_config.min_transitions = config_.online_min_transitions;
     trainer_config.replay_capacity = config_.online_replay_capacity;

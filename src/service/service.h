@@ -145,6 +145,13 @@ struct ServiceConfig {
   /// then run only via ContinualTrainer::RetrainNow). Bounded by
   /// kMaxNumThreads like num_threads.
   size_t online_trainer_threads = 1;
+  /// Snapshot versions the ModelRegistry retains per agent key: the offline
+  /// warm-up snapshot (version 1, the rollback floor) plus the most recent
+  /// versions; older middles are pruned on publish, so a long-running online
+  /// shard cannot accumulate every model it ever published. Must be >= 2
+  /// when online learning is on (the floor plus the serving head). Requests
+  /// holding a pruned version keep it alive through their own shared_ptr.
+  size_t online_max_snapshots = 8;
 
   /// Upper bound Validate() accepts for num_threads.
   static constexpr size_t kMaxNumThreads = 4096;
@@ -241,11 +248,19 @@ struct ServiceConfig {
     online_trainer_threads = threads;
     return *this;
   }
+  ServiceConfig& WithOnlineMaxSnapshots(size_t max_snapshots) {
+    online_max_snapshots = max_snapshots;
+    return *this;
+  }
 };
 
 /// One rewriting request.
 struct RewriteRequest {
   const Query* query = nullptr;
+  /// Fleet routing key: which registered scenario serves this request
+  /// (service_fleet.h). An empty key routes to a single-shard fleet's sole
+  /// scenario; a standalone MalivaService ignores the field entirely.
+  std::string scenario;
   /// Strategy name (RewriterFactory key); empty = ServiceConfig default.
   std::string strategy;
   /// Per-request time budget; unset = the strategy's configured tau.
@@ -343,6 +358,17 @@ class MalivaService {
   /// uses index 0).
   std::vector<Result<RewriteResponse>> ServeBatch(
       std::span<const RewriteRequest> requests) const;
+
+  /// Serves one request at an explicit batch position: `request_index` seeds
+  /// the per-request session RNG exactly as ServeBatch does for the request
+  /// at that position (Serve itself is ServeAt(request, 0)). For external
+  /// batch drivers — e.g. MalivaFleet's mixed-scenario ServeBatch — that
+  /// partition one batch across services but must reproduce each service's
+  /// own batch results byte for byte.
+  Result<RewriteResponse> ServeAt(const RewriteRequest& request,
+                                  uint64_t request_index) const {
+    return ServeIndexed(request, request_index);
+  }
 
   /// Returns (building and training on a miss, behind the exclusive build
   /// lock) strategy `name`. The returned pointer is stable for the service's

@@ -1,0 +1,297 @@
+#include "service/service_fleet.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace maliva {
+
+Status FleetConfig::Validate() const {
+  // The shard-level chokepoint already guards every ServiceConfig knob; the
+  // fleet adds only its own thread counts (same wrap-around rationale).
+  MALIVA_RETURN_NOT_OK(defaults.Validate());
+  if (num_threads > ServiceConfig::kMaxNumThreads) {
+    return Status::InvalidArgument(
+        "fleet num_threads must be <= " +
+        std::to_string(ServiceConfig::kMaxNumThreads) + " (got " +
+        std::to_string(num_threads) + "; likely an unsigned wrap-around)");
+  }
+  if (warmup_threads > ServiceConfig::kMaxNumThreads) {
+    return Status::InvalidArgument(
+        "warmup_threads must be <= " +
+        std::to_string(ServiceConfig::kMaxNumThreads) + " (got " +
+        std::to_string(warmup_threads) + "; likely an unsigned wrap-around)");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Folds one shard's counters into the fleet totals. The epoch/last-reward
+/// fields are per-shard quantities with no meaningful sum and stay zero;
+/// online_snapshot_version carries the fleet-wide max (the headline "newest
+/// model anywhere").
+void AccumulateInto(ServiceStats& totals, const ServiceStats& shard) {
+  totals.requests += shard.requests;
+  totals.errors += shard.errors;
+  totals.exact_fallbacks += shard.exact_fallbacks;
+  totals.selectivities_collected += shard.selectivities_collected;
+  totals.shared_hits += shard.shared_hits;
+  totals.shared_published += shard.shared_published;
+  totals.store_size += shard.store_size;
+  totals.store_evictions += shard.store_evictions;
+  totals.online_transitions += shard.online_transitions;
+  totals.online_transitions_dropped += shard.online_transitions_dropped;
+  totals.online_transitions_pending += shard.online_transitions_pending;
+  totals.online_retrains += shard.online_retrains;
+  totals.online_rejected += shard.online_rejected;
+  totals.online_snapshot_version =
+      std::max(totals.online_snapshot_version, shard.online_snapshot_version);
+  totals.serve_wall_ms_total += shard.serve_wall_ms_total;
+}
+
+}  // namespace
+
+MalivaFleet::MalivaFleet(FleetConfig config) : config_(std::move(config)) {
+  config_status_ = config_.Validate();
+}
+
+MalivaFleet::~MalivaFleet() = default;
+
+size_t MalivaFleet::ResolvedNumThreads() const {
+  return config_.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                  : config_.num_threads;
+}
+
+ThreadPool& MalivaFleet::ServePool() const {
+  std::call_once(serve_pool_once_, [this] {
+    serve_pool_ = std::make_unique<ThreadPool>(ResolvedNumThreads());
+  });
+  return *serve_pool_;
+}
+
+ThreadPool& MalivaFleet::WarmupPool() const {
+  std::call_once(warmup_pool_once_,
+                 [this] { warmup_pool_ = std::make_unique<ThreadPool>(config_.warmup_threads); });
+  return *warmup_pool_;
+}
+
+Status MalivaFleet::RegisterScenario(const std::string& id, Scenario* scenario) {
+  return RegisterScenario(id, scenario, nullptr);
+}
+
+Status MalivaFleet::RegisterScenario(const std::string& id, Scenario* scenario,
+                                     const std::function<void(ServiceConfig&)>& tune) {
+  MALIVA_RETURN_NOT_OK(config_status_);
+  // Cheap pre-check before constructing a whole per-scenario stack for an
+  // empty/duplicate id; Insert below re-checks under the exclusive lock.
+  MALIVA_RETURN_NOT_OK(router_.CheckAvailable(id));
+  if (scenario == nullptr) {
+    return Status::InvalidArgument("RegisterScenario requires a built scenario");
+  }
+  // Layer the shard's overrides over the fleet defaults, then re-validate:
+  // a bad override is this registration's error, never a latent Serve error.
+  ServiceConfig shard_config = config_.defaults;
+  if (tune) tune(shard_config);
+  MALIVA_RETURN_NOT_OK(shard_config.Validate());
+
+  auto shard = std::make_shared<Shard>(
+      id, std::make_unique<MalivaService>(scenario, std::move(shard_config)));
+  MALIVA_RETURN_NOT_OK(router_.Insert(shard));
+
+  if (config_.warmup_threads == 0) {
+    // No background warm-up: Ready immediately, strategies build lazily on
+    // first use (the standalone-service behavior).
+    ShardState expected = ShardState::kRegistered;
+    shard->state.compare_exchange_strong(expected, ShardState::kReady);
+    return Status::OK();
+  }
+  // Background warm-up on the fleet's own pool: training scenario N+1 never
+  // blocks serves on scenarios 1..N (they only share this pool, not locks).
+  // The task holds the shard alive even across a concurrent drain + evict.
+  WarmupPool().Submit([shard, strategies = config_.warmup_strategies] {
+    if (!shard->BeginWarmup()) return;  // drained before the warm-up began
+    Status status = strategies.empty()
+                        ? shard->service->Warmup()
+                        : shard->service->Warmup(strategies);
+    shard->set_warmup_status(std::move(status));
+    shard->FinishWarmup();
+  });
+  return Status::OK();
+}
+
+Status MalivaFleet::DrainScenario(const std::string& id) {
+  MALIVA_RETURN_NOT_OK(config_status_);
+  Result<std::shared_ptr<Shard>> shard = router_.Resolve(id);
+  if (!shard.ok()) return shard.status();
+  shard.value()->Drain();  // idempotent: repeated drains are no-ops
+  return Status::OK();
+}
+
+Status MalivaFleet::EvictScenario(const std::string& id) {
+  MALIVA_RETURN_NOT_OK(config_status_);
+  Result<std::shared_ptr<Shard>> shard = router_.Resolve(id);
+  if (!shard.ok()) return shard.status();
+  if (!shard.value()->draining()) {
+    return Status::FailedPrecondition(
+        "scenario \"" + id + "\" must be drained before eviction (state: " +
+        ShardStateName(shard.value()->state.load()) + ")");
+  }
+  // Identity-checked removal: if another eviction won the race — even if a
+  // fresh shard was re-registered under this id since — the removal must
+  // not touch the newcomer. The loser reports NotFound (its shard is gone).
+  Result<std::shared_ptr<Shard>> removed = router_.Remove(id, shard.value().get());
+  return removed.ok() ? Status::OK() : removed.status();
+}
+
+Result<std::shared_ptr<Shard>> MalivaFleet::Route(const std::string& key) const {
+  auto fail = [this](Status status) -> Result<std::shared_ptr<Shard>> {
+    routing_errors_.fetch_add(1, std::memory_order_relaxed);
+    return status;
+  };
+  if (!config_status_.ok()) return fail(config_status_);
+
+  std::shared_ptr<Shard> shard;
+  if (key.empty()) {
+    // Single-shard convenience: a fleet hosting exactly one scenario routes
+    // key-less requests there, so ported single-service callers need no
+    // per-request ceremony. Ambiguous otherwise.
+    shard = router_.Sole();
+    if (shard == nullptr) {
+      return fail(Status::InvalidArgument(
+          "request names no scenario and the fleet does not host exactly one "
+          "(registered scenarios: " + router_.IdsList() + ")"));
+    }
+  } else {
+    Result<std::shared_ptr<Shard>> resolved = router_.Resolve(key);
+    if (!resolved.ok()) return fail(resolved.status());
+    shard = std::move(resolved).value();
+  }
+  if (shard->draining()) {
+    return fail(Status::FailedPrecondition(
+        "scenario \"" + shard->id + "\" is draining and refuses new requests"));
+  }
+  return shard;
+}
+
+Result<RewriteResponse> MalivaFleet::Serve(const RewriteRequest& request) const {
+  Result<std::shared_ptr<Shard>> shard = Route(request.scenario);
+  if (!shard.ok()) return shard.status();
+  return shard.value()->service->Serve(request);
+}
+
+std::vector<Result<RewriteResponse>> MalivaFleet::ServeBatch(
+    std::span<const RewriteRequest> requests) const {
+  struct Routed {
+    std::shared_ptr<Shard> shard;  // null = routing failed, slot holds the Status
+    uint64_t shard_index = 0;      // position within the shard's batch slice
+  };
+  std::vector<std::optional<Result<RewriteResponse>>> slots(requests.size());
+  std::vector<Routed> routed(requests.size());
+
+  // Route phase, sequential: per-shard indices depend only on the batch
+  // order, so each shard's slice is served at indices 0..k-1 — exactly what
+  // that shard's own ServeBatch would use, whatever else is interleaved.
+  std::unordered_map<Shard*, uint64_t> shard_counts;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Result<std::shared_ptr<Shard>> shard = Route(requests[i].scenario);
+    if (!shard.ok()) {
+      slots[i] = shard.status();
+      continue;
+    }
+    routed[i].shard_index = shard_counts[shard.value().get()]++;
+    routed[i].shard = std::move(shard).value();
+  }
+
+  // Build phase: warm every (shard, strategy) pair the batch needs — plus
+  // the exact fallback where a quality floor may trigger it — before fanning
+  // out, so serve workers never contend on a build lock. Failures are not
+  // cached and re-surface per request.
+  {
+    std::vector<std::pair<Shard*, std::string>> needed;
+    auto want = [&needed](Shard* shard, std::string name) {
+      for (const auto& [s, n] : needed) {
+        if (s == shard && n == name) return;
+      }
+      needed.emplace_back(shard, std::move(name));
+    };
+    for (size_t i = 0; i < requests.size(); ++i) {
+      if (routed[i].shard == nullptr) continue;
+      Shard* shard = routed[i].shard.get();
+      want(shard, requests[i].strategy.empty()
+                      ? shard->service->config().default_strategy
+                      : requests[i].strategy);
+      if (requests[i].quality_floor.has_value()) want(shard, "baseline");
+    }
+    for (const auto& [shard, name] : needed) {
+      (void)shard->service->GetRewriter(name);  // failure handled per request
+    }
+  }
+
+  // Serve phase: one fan-out over the shared fleet pool, all shards at once.
+  auto serve_one = [&slots, &routed, &requests](size_t i) {
+    if (routed[i].shard == nullptr) return;  // routing error already recorded
+    slots[i] =
+        routed[i].shard->service->ServeAt(requests[i], routed[i].shard_index);
+  };
+  if (std::min(ResolvedNumThreads(), requests.size()) <= 1) {
+    for (size_t i = 0; i < requests.size(); ++i) serve_one(i);
+  } else {
+    ServePool().ParallelFor(requests.size(), serve_one);
+  }
+
+  std::vector<Result<RewriteResponse>> responses;
+  responses.reserve(requests.size());
+  for (std::optional<Result<RewriteResponse>>& slot : slots) {
+    assert(slot.has_value());
+    responses.push_back(std::move(*slot));
+  }
+  return responses;
+}
+
+std::vector<ScenarioInfo> MalivaFleet::ListScenarios() const {
+  std::vector<ScenarioInfo> infos;
+  for (const std::shared_ptr<Shard>& shard : router_.List()) {
+    ScenarioInfo info;
+    info.id = shard->id;
+    info.state = shard->state.load();
+    info.dataset = DatasetKindName(shard->service->scenario()->config.kind);
+    info.warmup = shard->warmup_status();
+    info.requests = shard->service->Stats().requests;
+    infos.push_back(std::move(info));
+  }
+  return infos;
+}
+
+FleetStats MalivaFleet::Stats() const {
+  FleetStats stats;
+  stats.routing_errors = routing_errors_.load(std::memory_order_relaxed);
+  for (const std::shared_ptr<Shard>& shard : router_.List()) {
+    ServiceStats shard_stats = shard->service->Stats();
+    AccumulateInto(stats.totals, shard_stats);
+    stats.shards.emplace_back(shard->id, std::move(shard_stats));
+  }
+  stats.scenarios = stats.shards.size();
+  return stats;
+}
+
+Result<std::shared_ptr<const MalivaService>> MalivaFleet::ServiceFor(
+    const std::string& id) const {
+  Result<std::shared_ptr<Shard>> shard = router_.Resolve(id);
+  if (!shard.ok()) return shard.status();
+  // Aliasing shared_ptr: the caller's handle keeps the whole shard alive,
+  // so a concurrent drain + evict cannot destroy the stack under it.
+  const MalivaService* service = shard.value()->service.get();
+  return std::shared_ptr<const MalivaService>(std::move(shard).value(), service);
+}
+
+void MalivaFleet::WaitWarmups() const {
+  if (config_.warmup_threads == 0) return;  // nothing is ever scheduled
+  WarmupPool().Wait();
+}
+
+}  // namespace maliva

@@ -1,0 +1,227 @@
+// MalivaFleet: many scenarios behind one routed serving facade.
+//
+// A MalivaService hosts exactly one scenario. The fleet hosts N of them as
+// shards — each a full, isolated per-scenario stack (ServingState, shared
+// selectivity store, model registry / continual trainer, telemetry) — and
+// routes every request by its RewriteRequest::scenario key:
+//
+//   MalivaFleet fleet(FleetConfig().WithDefaults(
+//       ServiceConfig().WithAgentSeeds(1)));
+//   fleet.RegisterScenario("tweets", &tweets);          // fleet defaults
+//   fleet.RegisterScenario("taxi", &taxi, [](ServiceConfig& c) {
+//     c.WithCrossRequestCache(true);                    // per-shard override
+//   });
+//   RewriteRequest req;
+//   req.scenario = "taxi";
+//   req.query = taxi.evaluation[0];
+//   Result<RewriteResponse> resp = fleet.Serve(req);
+//
+// Lifecycle (see shard_router.h): RegisterScenario inserts the shard and
+// schedules a background Warmup() on the fleet's warm-up pool, so
+// registering scenario N+1 never blocks serves on scenarios 1..N; Drain
+// refuses new serves while in-flight ones finish; Evict removes a drained
+// shard (requests still holding its shared_ptr keep the stack alive).
+//
+// Determinism: the fleet-level ServeBatch partitions a mixed-scenario batch
+// by routing key and serves each request at its *per-shard* position, so a
+// shard's slice of the responses is byte-identical to serving that slice
+// through the shard's own ServeBatch — at any fleet thread count, with any
+// interleaving of other scenarios in the batch (the PR 2/3 per-shard
+// contracts, fleet-wide).
+
+#ifndef MALIVA_SERVICE_SERVICE_FLEET_H_
+#define MALIVA_SERVICE_SERVICE_FLEET_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/shard_router.h"
+
+namespace maliva {
+
+class ThreadPool;  // util/thread_pool.h; pools are created lazily
+
+/// Configuration of one MalivaFleet. `defaults` is the base ServiceConfig
+/// every shard starts from; RegisterScenario overloads layer per-shard
+/// overrides on top of it (and Validate() the result, so one shard's bad
+/// override cannot poison the fleet).
+struct FleetConfig {
+  /// Base ServiceConfig for every shard (per-shard `num_threads` is unused
+  /// by fleet batches — the fleet pool below fans out mixed batches — but
+  /// still applies when a shard's service is driven directly).
+  ServiceConfig defaults;
+  /// Workers of the fleet-level ServeBatch pool, shared by every shard.
+  /// 0 = hardware concurrency; 1 = the sequential path. Mixed-batch results
+  /// are byte-identical per shard at every value.
+  size_t num_threads = 0;
+  /// Background warm-up workers. 0 disables background warm-up entirely:
+  /// shards are Ready immediately and build strategies lazily on first use.
+  size_t warmup_threads = 1;
+  /// Strategies each shard's background warm-up builds. Empty = every
+  /// registered strategy the shard's configuration supports (Warmup()'s
+  /// skip-unavailable semantics).
+  std::vector<std::string> warmup_strategies;
+
+  /// Rejects fleet-level pathologies (thread-count wrap-arounds) and any
+  /// defect in `defaults` (ServiceConfig::Validate()); checked once at fleet
+  /// construction, a failure surfaces from every Register/Serve call.
+  Status Validate() const;
+
+  FleetConfig& WithDefaults(ServiceConfig config) {
+    defaults = std::move(config);
+    return *this;
+  }
+  FleetConfig& WithNumThreads(size_t threads) {
+    num_threads = threads;
+    return *this;
+  }
+  FleetConfig& WithWarmupThreads(size_t threads) {
+    warmup_threads = threads;
+    return *this;
+  }
+  FleetConfig& WithWarmupStrategies(std::vector<std::string> strategies) {
+    warmup_strategies = std::move(strategies);
+    return *this;
+  }
+};
+
+/// One row of MalivaFleet::ListScenarios().
+struct ScenarioInfo {
+  std::string id;
+  ShardState state = ShardState::kRegistered;
+  /// Dataset behind the shard (DatasetKindName).
+  std::string dataset;
+  /// Background warm-up outcome: OK until the warm-up finishes (and forever
+  /// when warm-up is disabled); a failure leaves the shard serving lazily
+  /// but is surfaced here for operators.
+  Status warmup;
+  /// Requests this shard has served (errors included), from its telemetry.
+  uint64_t requests = 0;
+};
+
+/// Fleet-wide counters: per-shard ServiceStats plus cross-shard aggregates.
+struct FleetStats {
+  /// Shards currently registered (draining included, evicted excluded).
+  size_t scenarios = 0;
+  /// Requests refused before reaching any shard: empty key with no sole
+  /// shard, unknown routing keys, draining shards, misconfigured fleet.
+  uint64_t routing_errors = 0;
+  /// Counter sums across shards. The epoch/version/last-reward fields are
+  /// per-shard quantities with no meaningful sum — `totals` carries the max
+  /// for online_snapshot_version and zero for store_epoch and the
+  /// last_retrain_* rewards; read the per-shard rows for those.
+  ServiceStats totals;
+  /// Per-shard snapshots, ordered by scenario id.
+  std::vector<std::pair<std::string, ServiceStats>> shards;
+};
+
+/// Hosts many scenarios behind one facade. Thread safety mirrors the
+/// service: Serve/ServeBatch/ListScenarios/Stats are const and safe to call
+/// concurrently with each other and with Register/Drain/Evict — shard
+/// resolution is a shared-lock lookup, and every per-scenario stack is
+/// internally synchronized.
+class MalivaFleet {
+ public:
+  explicit MalivaFleet(FleetConfig config = FleetConfig());
+  ~MalivaFleet();
+
+  MalivaFleet(const MalivaFleet&) = delete;
+  MalivaFleet& operator=(const MalivaFleet&) = delete;
+
+  /// Registers `scenario` under routing key `id` with the fleet-default
+  /// ServiceConfig, scheduling its background warm-up. The scenario is
+  /// borrowed and must outlive the fleet (and any in-flight request after an
+  /// eviction). Empty and duplicate ids are rejected with InvalidArgument.
+  Status RegisterScenario(const std::string& id, Scenario* scenario);
+
+  /// Same, layering per-shard overrides over the fleet defaults: `tune`
+  /// receives a copy of FleetConfig::defaults to mutate. The tuned config is
+  /// Validate()d before the shard is created — an invalid override is
+  /// rejected here (InvalidArgument) and registers nothing.
+  Status RegisterScenario(const std::string& id, Scenario* scenario,
+                          const std::function<void(ServiceConfig&)>& tune);
+
+  /// One-way gate: `id` refuses new serves from now on; in-flight requests
+  /// finish undisturbed. Idempotent. NotFound for unknown ids.
+  Status DrainScenario(const std::string& id);
+
+  /// Removes a *drained* shard from the routing table (FailedPrecondition
+  /// when not draining — drain first so no new request can race the
+  /// removal). Requests still holding the shard finish on its stack; the
+  /// stack is destroyed when the last holder lets go.
+  Status EvictScenario(const std::string& id);
+
+  /// Routes by request.scenario and serves on that shard. An empty key
+  /// routes to the sole registered shard (a single-shard fleet is a drop-in
+  /// MalivaService) and is InvalidArgument otherwise; unknown keys are
+  /// NotFound listing every registered scenario; draining shards are
+  /// FailedPrecondition.
+  Result<RewriteResponse> Serve(const RewriteRequest& request) const;
+
+  /// Serves a mixed-scenario batch: requests are routed per the rules above
+  /// (failures land as per-request Status), each shard's strategies are
+  /// pre-built, and the batch fans out over the fleet pool. Each request is
+  /// served at its position *within its shard's slice*, so per shard the
+  /// responses are byte-identical to that shard's own ServeBatch over the
+  /// slice — at any fleet thread count.
+  std::vector<Result<RewriteResponse>> ServeBatch(
+      std::span<const RewriteRequest> requests) const;
+
+  /// Introspection: every registered scenario with its lifecycle state,
+  /// dataset, warm-up outcome, and served-request count; ordered by id.
+  std::vector<ScenarioInfo> ListScenarios() const;
+
+  /// Per-shard serving/knowledge/online counters plus fleet aggregates.
+  FleetStats Stats() const;
+
+  /// The shard's underlying service — stats drill-down, RetrainNow-style
+  /// deterministic driving, registry access. Draining shards resolve too
+  /// (operators inspect what they drain). NotFound for unknown ids. The
+  /// returned shared_ptr aliases the shard, so holding it keeps the whole
+  /// stack alive across a concurrent drain + evict.
+  Result<std::shared_ptr<const MalivaService>> ServiceFor(const std::string& id) const;
+
+  /// Blocks until every background warm-up scheduled so far has finished.
+  /// Tests and benches use this to make Ready states deterministic; serving
+  /// never requires it (cold shards build lazily).
+  void WaitWarmups() const;
+
+  const FleetConfig& config() const { return config_; }
+
+ private:
+  /// Resolves a routing key to a serveable shard (the Serve rules above).
+  /// Failures count toward FleetStats::routing_errors.
+  Result<std::shared_ptr<Shard>> Route(const std::string& key) const;
+
+  /// FleetConfig::num_threads with 0 resolved to hardware concurrency; the
+  /// one source for both ServeBatch's sequential-path gate and the pool
+  /// size.
+  size_t ResolvedNumThreads() const;
+
+  ThreadPool& ServePool() const;
+  ThreadPool& WarmupPool() const;
+
+  FleetConfig config_;
+  /// FleetConfig::Validate() outcome, computed once at construction.
+  Status config_status_;
+
+  ShardRouter router_;
+  mutable std::atomic<uint64_t> routing_errors_{0};
+
+  mutable std::once_flag serve_pool_once_;
+  mutable std::unique_ptr<ThreadPool> serve_pool_;
+  /// Declared last: destroyed first, joining scheduled warm-ups (which hold
+  /// their shard alive via shared_ptr) before the router goes away.
+  mutable std::once_flag warmup_pool_once_;
+  mutable std::unique_ptr<ThreadPool> warmup_pool_;
+};
+
+}  // namespace maliva
+
+#endif  // MALIVA_SERVICE_SERVICE_FLEET_H_

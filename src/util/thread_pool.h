@@ -72,19 +72,33 @@ class ThreadPool {
 
   /// Runs fn(0..n-1), spreading indices over the workers, and blocks until
   /// all calls return. Indices are claimed from a shared atomic counter, so
-  /// uneven per-index costs balance automatically.
+  /// uneven per-index costs balance automatically. Completion is tracked
+  /// per call, not via the pool-global Wait(): concurrent ParallelFor calls
+  /// sharing one pool (e.g. two fleet batches) only wait for their own
+  /// lanes, never for each other's tasks.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     if (n == 0) return;
-    auto next = std::make_shared<std::atomic<size_t>>(0);
+    struct CallState {
+      std::atomic<size_t> next{0};
+      std::mutex mutex;
+      std::condition_variable done;
+      size_t active_lanes = 0;
+    };
+    auto state = std::make_shared<CallState>();
     size_t lanes = std::min(n, num_threads());
+    state->active_lanes = lanes;
     for (size_t lane = 0; lane < lanes; ++lane) {
-      Submit([next, n, &fn] {
-        for (size_t i = next->fetch_add(1); i < n; i = next->fetch_add(1)) {
+      // fn by reference is safe: this call outlives its tasks by design.
+      Submit([state, n, &fn] {
+        for (size_t i = state->next.fetch_add(1); i < n; i = state->next.fetch_add(1)) {
           fn(i);
         }
+        std::unique_lock<std::mutex> lock(state->mutex);
+        if (--state->active_lanes == 0) state->done.notify_all();
       });
     }
-    Wait();
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done.wait(lock, [&state] { return state->active_lanes == 0; });
   }
 
  private:

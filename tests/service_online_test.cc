@@ -297,6 +297,44 @@ TEST_F(ServiceOnlineTest, RegistryRollbackRestoresPredecessorButNeverV1) {
   EXPECT_EQ(registry->CurrentVersion(key), 3u);
 }
 
+TEST_F(ServiceOnlineTest, BoundedSnapshotChainKeepsWarmupFloorAndNewest) {
+  // ServiceConfig::online_max_snapshots bounds each agent key's chain: a
+  // long-running online shard must not accumulate every model it ever
+  // published. Version 1 (the rollback floor) and the newest versions stay;
+  // older middles are pruned on publish.
+  MalivaService service(scenario_, SmallConfig()
+                                       .WithOnlineLearning(true)
+                                       .WithOnlineTrainerThreads(0)
+                                       .WithOnlineGradientSteps(4)
+                                       .WithOnlineGateTolerance(10.0)
+                                       .WithOnlineMaxSnapshots(3));
+  ASSERT_TRUE(service.Warmup({"mdp/accurate"}).ok());
+  ModelRegistry* registry = service.model_registry();
+  ASSERT_NE(registry, nullptr);
+  EXPECT_EQ(registry->max_retained_per_key(), 3u);
+  const std::string key = "agent/exact-accurate";
+
+  // Five wide-open-gate fine-tune rounds publish versions 2..6.
+  std::vector<RewriteRequest> requests = MdpRequests(32);
+  for (int round = 0; round < 5; ++round) {
+    for (const Result<RewriteResponse>& resp : service.ServeBatch(requests)) {
+      ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    }
+    ASSERT_TRUE(service.online_trainer()->RetrainNow(key));
+  }
+  EXPECT_EQ(registry->CurrentVersion(key), 6u);
+  EXPECT_EQ(registry->ChainLength(key), 3u);  // v1 + the newest two
+
+  // Rolling back walks the retained versions and stops at the warm-up
+  // floor: 6 -> 5 -> 1 (the pruned middles 2..4 are gone), never past v1.
+  EXPECT_TRUE(registry->Rollback(key));
+  EXPECT_EQ(registry->CurrentVersion(key), 5u);
+  EXPECT_TRUE(registry->Rollback(key));
+  EXPECT_EQ(registry->CurrentVersion(key), 1u);
+  EXPECT_FALSE(registry->Rollback(key));
+  EXPECT_EQ(registry->CurrentVersion(key), 1u);
+}
+
 TEST_F(ServiceOnlineTest, ValidateRejectsOnlinePathologies) {
   EXPECT_TRUE(ServiceConfig().WithOnlineLearning(true).Validate().ok());
 
@@ -327,6 +365,11 @@ TEST_F(ServiceOnlineTest, ValidateRejectsOnlinePathologies) {
       ServiceConfig().WithOnlineLearning(true).WithOnlineGateTolerance(-0.5));
   expect_invalid(ServiceConfig().WithOnlineLearning(true).WithOnlineTrainerThreads(
       static_cast<size_t>(-1)));
+  // The snapshot-chain bound needs room for the warm-up floor (version 1)
+  // plus the serving head.
+  expect_invalid(ServiceConfig().WithOnlineLearning(true).WithOnlineMaxSnapshots(0));
+  expect_invalid(ServiceConfig().WithOnlineLearning(true).WithOnlineMaxSnapshots(1));
+  EXPECT_TRUE(ServiceConfig().WithOnlineLearning(true).WithOnlineMaxSnapshots(2).Validate().ok());
   // Trainer fields the fine-tune rounds copy are guarded too (a zero
   // target_sync_every would be a modulo divisor of zero).
   {
