@@ -15,6 +15,7 @@
 #include "harness/experiment.h"
 #include "harness/setup.h"
 #include "service/service.h"
+#include "util/rng.h"
 
 namespace maliva {
 namespace bench {
@@ -61,6 +62,31 @@ inline ScenarioConfig TpchConfig500ms() {
 inline ServiceConfig DefaultServiceConfig() {
   return ServiceConfig().WithTrainerIterations(25).WithAgentSeeds(2);
 }
+
+/// Seeded open-loop arrival process: i.i.d. exponential gaps at `rate_qps`,
+/// i.e. Poisson arrivals. Timestamps are purely virtual offsets from an
+/// arbitrary origin — the generator never reads the wall clock, so a given
+/// (rate, seed) pair replays the identical arrival trace on every run and on
+/// every machine; the *driver* decides how (or whether) to map offsets onto
+/// real time. This is what makes overload benches open-loop: arrivals keep
+/// their schedule no matter how far behind the server falls, instead of the
+/// closed-loop pattern where a slow server politely throttles its own load.
+class ArrivalGenerator {
+ public:
+  ArrivalGenerator(double rate_qps, uint64_t seed)
+      : rate_per_ms_(rate_qps / 1000.0), rng_(seed) {}
+
+  /// Next arrival offset in virtual ms; strictly monotone non-decreasing.
+  double NextMs() {
+    next_ms_ += rng_.Exponential(rate_per_ms_);
+    return next_ms_;
+  }
+
+ private:
+  double rate_per_ms_;
+  Rng rng_;
+  double next_ms_ = 0.0;
+};
 
 /// Simple wall-clock stopwatch for reporting bench phases.
 class Stopwatch {

@@ -79,11 +79,25 @@ cmake -B build -S . -DMALIVA_SERVICE_WERROR=ON
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
-# Both sanitizer legs run the service + concurrency + fleet suites (which
-# include the SharedSelectivityStore stress test and the shard plane's
-# register/serve/drain stress test) — training-heavy suites are slow under
+# Overload-plane smoke: a seconds-scale bench_overload run must pass its own
+# acceptance checks (nonzero shed + degrade, admitted p95 inside the budget)
+# and emit parseable JSON.
+echo "== overload smoke: bench_overload --smoke =="
+./build/bench_overload --smoke --out build/BENCH_admission.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json; json.load(open('build/BENCH_admission.json'))" \
+    || { echo "BENCH_admission.json is not valid JSON" >&2; exit 1; }
+  echo "BENCH_admission.json parses as JSON"
+else
+  echo "python3 unavailable; skipping JSON validation"
+fi
+
+# Both sanitizer legs run the service + concurrency + fleet + admission
+# suites (which include the SharedSelectivityStore stress test, the shard
+# plane's register/serve/drain stress test, and the overload plane's
+# serve-under-overload stress test) — training-heavy suites are slow under
 # sanitizers and exercise no additional threading or ownership.
-sanitizer_suites='Service|Concurrency|Fleet'
+sanitizer_suites='Service|Concurrency|Fleet|Admission'
 
 if [[ "$run_tsan" == 1 ]]; then
   # TSan pass over the concurrent serving core: parallel ServeBatch, lazy

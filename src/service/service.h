@@ -289,6 +289,13 @@ struct RequestStats {
   /// Version of the agent snapshot that served this request; 0 when the
   /// online learning plane is off or the strategy serves frozen weights.
   uint64_t agent_snapshot_version = 0;
+  /// Overload control plane (service_fleet.h): true when the admission gate
+  /// predicted the requested strategy would miss its deadline and forced the
+  /// configured degrade strategy instead. Always false off that path.
+  bool degraded = false;
+  /// Wall ms this request waited in the fleet's deadline scheduler between
+  /// arrival and dispatch; 0 off the scheduler path.
+  double queue_wait_ms = 0.0;
   /// Host wall-clock serving latency, milliseconds.
   double serve_wall_ms = 0.0;
 };

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <condition_variable>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 
+#include "service/deadline_scheduler.h"
 #include "util/thread_pool.h"
 
 namespace maliva {
@@ -26,6 +29,7 @@ Status FleetConfig::Validate() const {
         std::to_string(ServiceConfig::kMaxNumThreads) + " (got " +
         std::to_string(warmup_threads) + "; likely an unsigned wrap-around)");
   }
+  MALIVA_RETURN_NOT_OK(admission.Validate());
   return Status::OK();
 }
 
@@ -51,13 +55,23 @@ void AccumulateInto(ServiceStats& totals, const ServiceStats& shard) {
   totals.online_rejected += shard.online_rejected;
   totals.online_snapshot_version =
       std::max(totals.online_snapshot_version, shard.online_snapshot_version);
+  totals.admission_admitted += shard.admission_admitted;
+  totals.admission_degraded += shard.admission_degraded;
+  totals.admission_shed_deadline += shard.admission_shed_deadline;
+  totals.admission_shed_overload += shard.admission_shed_overload;
+  totals.admission_queue_wait_ms_total += shard.admission_queue_wait_ms_total;
   totals.serve_wall_ms_total += shard.serve_wall_ms_total;
 }
 
 }  // namespace
 
-MalivaFleet::MalivaFleet(FleetConfig config) : config_(std::move(config)) {
+MalivaFleet::MalivaFleet(FleetConfig config)
+    : config_(std::move(config)),
+      clock_origin_(std::chrono::steady_clock::now()) {
   config_status_ = config_.Validate();
+  if (config_status_.ok() && config_.admission.enabled) {
+    admission_ = std::make_unique<AdmissionController>(config_.admission);
+  }
 }
 
 MalivaFleet::~MalivaFleet() = default;
@@ -78,6 +92,24 @@ ThreadPool& MalivaFleet::WarmupPool() const {
   std::call_once(warmup_pool_once_,
                  [this] { warmup_pool_ = std::make_unique<ThreadPool>(config_.warmup_threads); });
   return *warmup_pool_;
+}
+
+DeadlineScheduler& MalivaFleet::Scheduler() const {
+  std::call_once(scheduler_once_, [this] {
+    scheduler_ = std::make_unique<DeadlineScheduler>(ResolvedNumThreads());
+    // Lanes for scenarios without an explicit share are created on first
+    // submit with the default weight; configured shares are seeded up front.
+    for (const ScenarioShare& share : config_.admission.shares) {
+      scheduler_->SetShare(share.scenario, share.weight, share.tier);
+    }
+  });
+  return *scheduler_;
+}
+
+double MalivaFleet::NowMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - clock_origin_)
+      .count();
 }
 
 Status MalivaFleet::RegisterScenario(const std::string& id, Scenario* scenario) {
@@ -178,10 +210,112 @@ Result<std::shared_ptr<Shard>> MalivaFleet::Route(const std::string& key) const 
   return shard;
 }
 
+void MalivaFleet::SubmitAdmitted(
+    const std::shared_ptr<Shard>& shard, const RewriteRequest& request,
+    double arrival_ms, uint64_t shard_index,
+    std::function<void(Result<RewriteResponse>)> done) const {
+  const double tau =
+      request.tau_ms.value_or(shard->service->scenario()->config.tau_ms);
+  const double deadline_ms = admission_->DeadlineFor(arrival_ms, tau);
+  DeadlineScheduler& scheduler = Scheduler();
+  const AdmissionDecision decision = admission_->Decide(
+      arrival_ms, deadline_ms, scheduler.QueueDepth(), scheduler.workers());
+  if (decision == AdmissionDecision::kShedDeadline ||
+      decision == AdmissionDecision::kShedOverload) {
+    admission_->RecordDecision(shard->id, decision);
+    done(AdmissionController::ShedStatus(decision, shard->id, arrival_ms,
+                                         deadline_ms,
+                                         scheduler.QueueDepth()));
+    return;
+  }
+
+  RewriteRequest effective = request;
+  const bool degraded = decision == AdmissionDecision::kDegrade;
+  if (degraded) effective.strategy = config_.admission.degrade_strategy;
+
+  // Idempotent share refresh: creates the lane with its configured (or
+  // default) weight on the scenario's first admitted request.
+  scheduler.SetShare(shard->id, admission_->WeightFor(shard->id),
+                     admission_->TierFor(shard->id));
+  SchedulerJob job;
+  job.deadline_ms = deadline_ms;
+  job.scenario = shard->id;
+  job.run = [this, shard, effective = std::move(effective), arrival_ms,
+             deadline_ms, shard_index, degraded, decision,
+             done = std::move(done)]() mutable {
+    const double start_ms = NowMs();
+    const double queue_wait_ms = std::max(0.0, start_ms - arrival_ms);
+    admission_->RecordQueueWait(shard->id, queue_wait_ms);
+    if (start_ms >= deadline_ms) {
+      // Dispatch-time recheck: the job aged out while queued. EDF makes this
+      // the request that was *most* entitled to run, so everything behind it
+      // is doomed too unless load lets up — shedding now still beats
+      // spending a worker on an answer that already missed its budget.
+      admission_->RecordDecision(shard->id, AdmissionDecision::kShedDeadline);
+      done(AdmissionController::ShedStatus(AdmissionDecision::kShedDeadline,
+                                           shard->id, start_ms, deadline_ms,
+                                           Scheduler().QueueDepth()));
+      return;
+    }
+    Result<RewriteResponse> response =
+        shard->service->ServeAt(effective, shard_index);
+    admission_->RecordDecision(shard->id, decision);
+    admission_->RecordServeMs(NowMs() - start_ms);
+    if (response.ok()) {
+      response.value().stats.degraded = degraded;
+      response.value().stats.queue_wait_ms = queue_wait_ms;
+    }
+    done(std::move(response));
+  };
+  scheduler.Submit(std::move(job));
+}
+
 Result<RewriteResponse> MalivaFleet::Serve(const RewriteRequest& request) const {
   Result<std::shared_ptr<Shard>> shard = Route(request.scenario);
   if (!shard.ok()) return shard.status();
-  return shard.value()->service->Serve(request);
+  if (admission_ == nullptr) return shard.value()->service->Serve(request);
+
+  // Admission path: gate + scheduler, then block until the job (or its
+  // inline shed) delivers. One-shot rendezvous owned by shared_ptr because
+  // the scheduler worker may outlive this frame only on the shared state.
+  struct Pending {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    std::optional<Result<RewriteResponse>> result;
+  };
+  auto pending = std::make_shared<Pending>();
+  SubmitAdmitted(shard.value(), request, NowMs(), /*shard_index=*/0,
+                 [pending](Result<RewriteResponse> response) {
+                   std::unique_lock<std::mutex> lock(pending->mutex);
+                   pending->result = std::move(response);
+                   pending->done = true;
+                   pending->cv.notify_all();
+                 });
+  std::unique_lock<std::mutex> lock(pending->mutex);
+  pending->cv.wait(lock, [&pending] { return pending->done; });
+  return std::move(*pending->result);
+}
+
+Status MalivaFleet::ServeAsync(
+    const RewriteRequest& request,
+    std::function<void(Result<RewriteResponse>)> done) const {
+  MALIVA_RETURN_NOT_OK(config_status_);
+  if (admission_ == nullptr) {
+    return Status::FailedPrecondition(
+        "ServeAsync requires FleetConfig::admission.enabled (the FIFO serve "
+        "paths have no completion hook)");
+  }
+  Result<std::shared_ptr<Shard>> shard = Route(request.scenario);
+  if (!shard.ok()) {
+    // Routing failures flow through `done` too: the caller always gets
+    // exactly one completion per accepted call.
+    done(shard.status());
+    return Status::OK();
+  }
+  SubmitAdmitted(shard.value(), request, NowMs(), /*shard_index=*/0,
+                 std::move(done));
+  return Status::OK();
 }
 
 std::vector<Result<RewriteResponse>> MalivaFleet::ServeBatch(
@@ -226,22 +360,58 @@ std::vector<Result<RewriteResponse>> MalivaFleet::ServeBatch(
                       ? shard->service->config().default_strategy
                       : requests[i].strategy);
       if (requests[i].quality_floor.has_value()) want(shard, "baseline");
+      // The admission gate may rewrite any member to the degrade strategy.
+      if (admission_ != nullptr && !config_.admission.degrade_strategy.empty()) {
+        want(shard, config_.admission.degrade_strategy);
+      }
     }
     for (const auto& [shard, name] : needed) {
       (void)shard->service->GetRewriter(name);  // failure handled per request
     }
   }
 
-  // Serve phase: one fan-out over the shared fleet pool, all shards at once.
-  auto serve_one = [&slots, &routed, &requests](size_t i) {
-    if (routed[i].shard == nullptr) return;  // routing error already recorded
-    slots[i] =
-        routed[i].shard->service->ServeAt(requests[i], routed[i].shard_index);
-  };
-  if (std::min(ResolvedNumThreads(), requests.size()) <= 1) {
-    for (size_t i = 0; i < requests.size(); ++i) serve_one(i);
+  if (admission_ != nullptr) {
+    // Admission path: every member shares one arrival stamp (the batch
+    // arrived together), each routed member passes the gate, and admitted
+    // work dispatches EDF through the scheduler. A countdown latch over the
+    // slots replaces the ParallelFor barrier; per-shard slice indices are
+    // identical to the FIFO path, only (load-dependent) verdicts and
+    // dispatch order differ.
+    struct BatchState {
+      std::mutex mutex;
+      std::condition_variable cv;
+      size_t remaining = 0;
+    };
+    auto state = std::make_shared<BatchState>();
+    for (const Routed& r : routed) {
+      if (r.shard != nullptr) ++state->remaining;
+    }
+    const double arrival_ms = NowMs();
+    for (size_t i = 0; i < requests.size(); ++i) {
+      if (routed[i].shard == nullptr) continue;
+      SubmitAdmitted(routed[i].shard, requests[i], arrival_ms,
+                     routed[i].shard_index,
+                     [state, &slots, i](Result<RewriteResponse> response) {
+                       std::unique_lock<std::mutex> lock(state->mutex);
+                       slots[i] = std::move(response);
+                       if (--state->remaining == 0) state->cv.notify_all();
+                     });
+    }
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->cv.wait(lock, [&state] { return state->remaining == 0; });
   } else {
-    ServePool().ParallelFor(requests.size(), serve_one);
+    // Serve phase: one fan-out over the shared fleet pool, all shards at
+    // once.
+    auto serve_one = [&slots, &routed, &requests](size_t i) {
+      if (routed[i].shard == nullptr) return;  // routing error already recorded
+      slots[i] =
+          routed[i].shard->service->ServeAt(requests[i], routed[i].shard_index);
+    };
+    if (std::min(ResolvedNumThreads(), requests.size()) <= 1) {
+      for (size_t i = 0; i < requests.size(); ++i) serve_one(i);
+    } else {
+      ServePool().ParallelFor(requests.size(), serve_one);
+    }
   }
 
   std::vector<Result<RewriteResponse>> responses;
@@ -272,10 +442,31 @@ FleetStats MalivaFleet::Stats() const {
   stats.routing_errors = routing_errors_.load(std::memory_order_relaxed);
   for (const std::shared_ptr<Shard>& shard : router_.List()) {
     ServiceStats shard_stats = shard->service->Stats();
+    if (admission_ != nullptr) {
+      // The gate's verdicts are fleet-side state (a shed request never
+      // reaches the shard); layer them onto the shard's own snapshot here.
+      AdmissionCounters gate = admission_->CountersFor(shard->id);
+      shard_stats.admission_admitted = gate.admitted;
+      shard_stats.admission_degraded = gate.degraded;
+      shard_stats.admission_shed_deadline = gate.shed_deadline;
+      shard_stats.admission_shed_overload = gate.shed_overload;
+      shard_stats.admission_queue_wait_ms_total = gate.queue_wait_ms_total;
+    }
     AccumulateInto(stats.totals, shard_stats);
     stats.shards.emplace_back(shard->id, std::move(shard_stats));
   }
   stats.scenarios = stats.shards.size();
+  if (admission_ != nullptr) {
+    stats.admission.enabled = true;
+    AdmissionCounters totals = admission_->TotalCounters();
+    stats.admission.admitted = totals.admitted;
+    stats.admission.degraded = totals.degraded;
+    stats.admission.shed_deadline = totals.shed_deadline;
+    stats.admission.shed_overload = totals.shed_overload;
+    stats.admission.queue_wait_ms_total = totals.queue_wait_ms_total;
+    stats.admission.queue_depth = Scheduler().QueueDepth();
+    stats.admission.estimated_serve_ms = admission_->EstimatedServeMs();
+  }
   return stats;
 }
 

@@ -33,6 +33,7 @@
 #define MALIVA_SERVICE_SERVICE_FLEET_H_
 
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -41,11 +42,14 @@
 #include <utility>
 #include <vector>
 
+#include "service/admission_controller.h"
 #include "service/shard_router.h"
 
 namespace maliva {
 
-class ThreadPool;  // util/thread_pool.h; pools are created lazily
+class ThreadPool;          // util/thread_pool.h; pools are created lazily
+class DeadlineScheduler;   // service/deadline_scheduler.h; created when
+                           // admission is on
 
 /// Configuration of one MalivaFleet. `defaults` is the base ServiceConfig
 /// every shard starts from; RegisterScenario overloads layer per-shard
@@ -68,8 +72,18 @@ struct FleetConfig {
   /// skip-unavailable semantics).
   std::vector<std::string> warmup_strategies;
 
-  /// Rejects fleet-level pathologies (thread-count wrap-arounds) and any
-  /// defect in `defaults` (ServiceConfig::Validate()); checked once at fleet
+  /// Overload control plane (DESIGN.md "Overload control plane"): a
+  /// deadline-deriving admission gate plus an EDF / weighted-fair
+  /// DeadlineScheduler that replaces the FIFO serve pool. Off (the default)
+  /// preserves the fleet's byte-identical-at-any-thread-count serving
+  /// contract exactly; on, requests can come back with the typed
+  /// DeadlineExceeded/ResourceExhausted rejections or be degraded to
+  /// admission.degrade_strategy (flagged in RewriteResponse::stats).
+  AdmissionConfig admission;
+
+  /// Rejects fleet-level pathologies (thread-count wrap-arounds), any
+  /// defect in `defaults` (ServiceConfig::Validate()), and any bad
+  /// admission knob (AdmissionConfig::Validate()); checked once at fleet
   /// construction, a failure surfaces from every Register/Serve call.
   Status Validate() const;
 
@@ -89,6 +103,10 @@ struct FleetConfig {
     warmup_strategies = std::move(strategies);
     return *this;
   }
+  FleetConfig& WithAdmission(AdmissionConfig config) {
+    admission = std::move(config);
+    return *this;
+  }
 };
 
 /// One row of MalivaFleet::ListScenarios().
@@ -105,6 +123,23 @@ struct ScenarioInfo {
   uint64_t requests = 0;
 };
 
+/// Overload-control snapshot inside FleetStats (all-zero with the plane
+/// off; the per-shard ServiceStats rows carry the same counters split by
+/// scenario).
+struct FleetAdmissionStats {
+  bool enabled = false;
+  uint64_t admitted = 0;
+  uint64_t degraded = 0;
+  uint64_t shed_deadline = 0;
+  uint64_t shed_overload = 0;
+  /// Scheduler backlog (queued, undispatched jobs) at snapshot time — the
+  /// gate's live load signal.
+  size_t queue_depth = 0;
+  double queue_wait_ms_total = 0.0;
+  /// The gate's current EWMA of per-request serve wall time.
+  double estimated_serve_ms = 0.0;
+};
+
 /// Fleet-wide counters: per-shard ServiceStats plus cross-shard aggregates.
 struct FleetStats {
   /// Shards currently registered (draining included, evicted excluded).
@@ -117,7 +152,10 @@ struct FleetStats {
   /// for online_snapshot_version and zero for store_epoch and the
   /// last_retrain_* rewards; read the per-shard rows for those.
   ServiceStats totals;
-  /// Per-shard snapshots, ordered by scenario id.
+  /// Overload control plane rollup (FleetConfig::admission).
+  FleetAdmissionStats admission;
+  /// Per-shard snapshots, ordered by scenario id. With admission on, each
+  /// row's admission_* fields carry that scenario's gate outcomes.
   std::vector<std::pair<std::string, ServiceStats>> shards;
 };
 
@@ -162,7 +200,26 @@ class MalivaFleet {
   /// MalivaService) and is InvalidArgument otherwise; unknown keys are
   /// NotFound listing every registered scenario; draining shards are
   /// FailedPrecondition.
+  ///
+  /// With FleetConfig::admission on, the request first passes the admission
+  /// gate (arrival = now; deadline = arrival + effective tau *
+  /// slack_factor, where the effective tau is the request's tau_ms or the
+  /// shard scenario's default): shed requests come back as DeadlineExceeded
+  /// or ResourceExhausted without touching any shard, degraded ones are
+  /// served with admission.degrade_strategy (flagged in response stats),
+  /// and admitted work dispatches through the EDF / weighted-fair
+  /// DeadlineScheduler — this call blocks until its job completes.
   Result<RewriteResponse> Serve(const RewriteRequest& request) const;
+
+  /// Admission-gated fire-and-forget serve: the gate runs inline (a shed
+  /// request invokes `done` with its typed Status before returning), and
+  /// admitted/degraded work completes on a scheduler worker, invoking
+  /// `done` exactly once with the response. The open-loop bench/replay
+  /// entry point — a single driver thread can offer load faster than it is
+  /// served, which blocking Serve calls cannot. FailedPrecondition when
+  /// admission is off (the FIFO paths have no completion hook).
+  Status ServeAsync(const RewriteRequest& request,
+                    std::function<void(Result<RewriteResponse>)> done) const;
 
   /// Serves a mixed-scenario batch: requests are routed per the rules above
   /// (failures land as per-request Status), each shard's strategies are
@@ -170,6 +227,11 @@ class MalivaFleet {
   /// served at its position *within its shard's slice*, so per shard the
   /// responses are byte-identical to that shard's own ServeBatch over the
   /// slice — at any fleet thread count.
+  ///
+  /// With admission on the batch routes through the gate + scheduler
+  /// instead (all members share one arrival timestamp); per-shard slice
+  /// indices are preserved, but gate decisions depend on live load, so the
+  /// byte-identity contract is admission-off only.
   std::vector<Result<RewriteResponse>> ServeBatch(
       std::span<const RewriteRequest> requests) const;
 
@@ -199,6 +261,19 @@ class MalivaFleet {
   /// Failures count toward FleetStats::routing_errors.
   Result<std::shared_ptr<Shard>> Route(const std::string& key) const;
 
+  /// Admission path shared by Serve/ServeAsync/ServeBatch: gate the routed
+  /// request at `arrival_ms`, then either invoke `done` inline with the
+  /// shed Status or submit the (possibly degraded) work to the scheduler,
+  /// serving at per-shard position `shard_index`. `done` is invoked exactly
+  /// once either way.
+  void SubmitAdmitted(const std::shared_ptr<Shard>& shard,
+                      const RewriteRequest& request, double arrival_ms,
+                      uint64_t shard_index,
+                      std::function<void(Result<RewriteResponse>)> done) const;
+
+  /// Wall ms since fleet construction — the admission/deadline timeline.
+  double NowMs() const;
+
   /// FleetConfig::num_threads with 0 resolved to hardware concurrency; the
   /// one source for both ServeBatch's sequential-path gate and the pool
   /// size.
@@ -206,20 +281,30 @@ class MalivaFleet {
 
   ThreadPool& ServePool() const;
   ThreadPool& WarmupPool() const;
+  DeadlineScheduler& Scheduler() const;
 
   FleetConfig config_;
   /// FleetConfig::Validate() outcome, computed once at construction.
   Status config_status_;
+  /// Origin of NowMs() — the fleet's arrival/deadline timeline.
+  std::chrono::steady_clock::time_point clock_origin_;
 
   ShardRouter router_;
   mutable std::atomic<uint64_t> routing_errors_{0};
+  /// The overload gate; null while FleetConfig::admission is off.
+  std::unique_ptr<AdmissionController> admission_;
 
   mutable std::once_flag serve_pool_once_;
   mutable std::unique_ptr<ThreadPool> serve_pool_;
-  /// Declared last: destroyed first, joining scheduled warm-ups (which hold
+  /// Destroyed before the router: joining scheduled warm-ups (which hold
   /// their shard alive via shared_ptr) before the router goes away.
   mutable std::once_flag warmup_pool_once_;
   mutable std::unique_ptr<ThreadPool> warmup_pool_;
+  /// Declared last: destroyed first, draining admitted jobs (which hold
+  /// their shard via shared_ptr and read admission_/the clock through
+  /// `this`) before anything above goes away.
+  mutable std::once_flag scheduler_once_;
+  mutable std::unique_ptr<DeadlineScheduler> scheduler_;
 };
 
 }  // namespace maliva

@@ -53,6 +53,17 @@ struct ServiceStats {
   double last_retrain_reward_pre = 0.0;  ///< incumbent validation reward
   double last_retrain_reward_post = 0.0; ///< fine-tuned clone's reward
 
+  // Overload control plane (identically zero for a standalone MalivaService
+  // and while FleetConfig::admission is off). The fleet-level admission gate
+  // fills these per shard when it snapshots FleetStats — a shard's own
+  // telemetry never sees shed requests, which are refused before reaching
+  // any service.
+  uint64_t admission_admitted = 0;       ///< gate verdicts: served as asked
+  uint64_t admission_degraded = 0;       ///< served with the degrade strategy
+  uint64_t admission_shed_deadline = 0;  ///< refused: deadline unmakeable
+  uint64_t admission_shed_overload = 0;  ///< refused: queue at capacity
+  double admission_queue_wait_ms_total = 0.0;  ///< summed scheduler queue wait
+
   double serve_wall_ms_total = 0.0;  ///< summed host wall-clock serve latency
 
   /// Fraction of needed selectivities that came free from the shared store.

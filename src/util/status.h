@@ -24,6 +24,8 @@ class Status {
     kFailedPrecondition,
     kInternal,
     kUnimplemented,
+    kDeadlineExceeded,
+    kResourceExhausted,
   };
 
   Status() : code_(Code::kOk) {}
@@ -43,6 +45,12 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(Code::kUnimplemented, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -60,6 +68,8 @@ class Status {
       case Code::kFailedPrecondition: name = "FailedPrecondition"; break;
       case Code::kInternal: name = "Internal"; break;
       case Code::kUnimplemented: name = "Unimplemented"; break;
+      case Code::kDeadlineExceeded: name = "DeadlineExceeded"; break;
+      case Code::kResourceExhausted: name = "ResourceExhausted"; break;
     }
     return std::string(name) + ": " + message_;
   }

@@ -70,6 +70,21 @@ class ThreadPool {
     idle_.wait(lock, [this] { return pending_ == 0; });
   }
 
+  /// Tasks submitted but not yet completed (queued + currently running).
+  /// The admission control plane reads this as its load signal; like any
+  /// concurrent gauge it is exact only at the instant of the read.
+  size_t PendingTasks() const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return pending_;
+  }
+
+  /// Tasks enqueued but not yet claimed by a worker (PendingTasks() minus
+  /// the ones currently running).
+  size_t QueueDepth() const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
   /// Runs fn(0..n-1), spreading indices over the workers, and blocks until
   /// all calls return. Indices are claimed from a shared atomic counter, so
   /// uneven per-index costs balance automatically. Completion is tracked
@@ -120,7 +135,7 @@ class ThreadPool {
     }
   }
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable idle_;
   std::deque<std::function<void()>> queue_;

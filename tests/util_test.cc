@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <condition_variable>
+#include <mutex>
 #include <set>
+#include <thread>
 
 #include "util/clock.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "util/stats.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -35,6 +39,18 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_NE(Status::Internal("x").ToString().find("Internal"), std::string::npos);
   EXPECT_NE(Status::Unimplemented("x").ToString().find("Unimplemented"),
             std::string::npos);
+  EXPECT_NE(Status::DeadlineExceeded("x").ToString().find("DeadlineExceeded"),
+            std::string::npos);
+  EXPECT_NE(Status::ResourceExhausted("x").ToString().find("ResourceExhausted"),
+            std::string::npos);
+}
+
+TEST(StatusTest, OverloadCodesAreDistinct) {
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(), Status::Code::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            Status::Code::kResourceExhausted);
+  EXPECT_NE(Status::DeadlineExceeded("x").code(),
+            Status::ResourceExhausted("x").code());
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -235,6 +251,40 @@ TEST(VirtualClockTest, AdvanceAccumulates) {
   EXPECT_DOUBLE_EQ(clock.NowMs(), 15.0);
   clock.Reset();
   EXPECT_EQ(clock.NowMs(), 0.0);
+}
+
+TEST(ThreadPoolDepthTest, IdlePoolReportsZero) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.PendingTasks(), 0u);
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+}
+
+TEST(ThreadPoolDepthTest, QueueDepthSeesBacklogBehindABlockedWorker) {
+  // One worker, three tasks gated on a latch: the worker claims the first
+  // (leaving the queue), the other two stay enqueued — PendingTasks counts
+  // all three, QueueDepth only the backlog. This is the load signal the
+  // admission gate reads, so the distinction is the contract under test.
+  ThreadPool pool(1);
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  for (int i = 0; i < 3; ++i) {
+    pool.Submit([&] {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&] { return release; });
+    });
+  }
+  // The worker claims the first task asynchronously; poll until it has.
+  while (pool.QueueDepth() != 2) std::this_thread::yield();
+  EXPECT_EQ(pool.PendingTasks(), 3u);
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  pool.Wait();
+  EXPECT_EQ(pool.PendingTasks(), 0u);
+  EXPECT_EQ(pool.QueueDepth(), 0u);
 }
 
 }  // namespace
