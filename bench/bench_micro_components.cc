@@ -101,6 +101,44 @@ void BM_OptimizerResolve(benchmark::State& state) {
 }
 BENCHMARK(BM_OptimizerResolve);
 
+void BM_SampleTableNameFormat(benchmark::State& state) {
+  // The per-probe string formatting SampledSelectivity used to pay before
+  // the per-(table, rate) sample-entry cache; kept as the reference cost the
+  // cached hot path avoids.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Engine::SampleTableName("tweets", 0.05));
+  }
+}
+BENCHMARK(BM_SampleTableNameFormat);
+
+void BM_SampledSelectivityProbe(benchmark::State& state) {
+  auto engine = std::make_unique<Engine>(EngineProfile::PostgresLike(), 1);
+  Status st = engine->RegisterTable(BenchTweets(50000),
+                                    {"text", "created_at", "coordinates"});
+  st = engine->BuildSampleTables("tweets", {0.05}, 9);
+  (void)st;
+  Predicate pred =
+      Predicate::Time("created_at", 1446336000, 1446336000 + 10LL * 86400);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->SampledSelectivity("tweets", pred, 0.05));
+  }
+}
+BENCHMARK(BM_SampledSelectivityProbe);
+
+void BM_HistogramSelectivity(benchmark::State& state) {
+  auto engine = std::make_unique<Engine>(EngineProfile::PostgresLike(), 1);
+  Status st = engine->RegisterTable(BenchTweets(50000),
+                                    {"text", "created_at", "coordinates"});
+  (void)st;
+  Predicate pred =
+      Predicate::Time("created_at", 1446336000, 1446336000 + 10LL * 86400);
+  uint64_t epoch = engine->catalog_version();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->HistogramSelectivity("tweets", pred, epoch));
+  }
+}
+BENCHMARK(BM_HistogramSelectivity);
+
 void BM_QNetworkForward(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));
   QAgent agent(n, 3);

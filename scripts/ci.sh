@@ -92,12 +92,36 @@ else
   echo "python3 unavailable; skipping JSON validation"
 fi
 
+# Selectivity-tier smoke: a seconds-scale bench_selectivity_tiers run must
+# pass its own acceptance checks (>=2x cold-serve speedup with the histogram
+# tier on, estimate error below the demotion threshold, rung-1 hits on the
+# warm pass) and emit JSON with the expected schema.
+echo "== selectivity-tier smoke: bench_selectivity_tiers --smoke =="
+./build/bench_selectivity_tiers --smoke --out build/BENCH_selectivity.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF' || { echo "BENCH_selectivity.json schema check failed" >&2; exit 1; }
+import json
+d = json.load(open('build/BENCH_selectivity.json'))
+assert d['bench'] == 'bench_selectivity_tiers'
+for key in ('off_qps', 'on_qps', 'speedup', 'on_histogram_slots'):
+    assert key in d['cold'], key
+assert d['cold']['on_histogram_slots'] > 0
+assert d['accuracy']['mean_abs_rel_error'] < d['accuracy']['demotion_threshold']
+for rung in ('shared', 'histogram', 'probe'):
+    assert rung in d['ladder']['pass1'] and rung in d['ladder']['pass2'], rung
+EOF
+  echo "BENCH_selectivity.json schema OK"
+else
+  echo "python3 unavailable; skipping JSON validation"
+fi
+
 # Both sanitizer legs run the service + concurrency + fleet + admission
 # suites (which include the SharedSelectivityStore stress test, the shard
 # plane's register/serve/drain stress test, and the overload plane's
-# serve-under-overload stress test) — training-heavy suites are slow under
-# sanitizers and exercise no additional threading or ownership.
-sanitizer_suites='Service|Concurrency|Fleet|Admission'
+# serve-under-overload stress test) plus the selectivity-ladder suites —
+# training-heavy suites are slow under sanitizers and exercise no additional
+# threading or ownership.
+sanitizer_suites='Service|Concurrency|Fleet|Admission|Histogram|SelectivityTier'
 
 if [[ "$run_tsan" == 1 ]]; then
   # TSan pass over the concurrent serving core: parallel ServeBatch, lazy

@@ -11,6 +11,7 @@ QteContext RewriterEnv::MakeContext(const Query& query) const {
   ctx.options = options;
   ctx.engine = engine;
   ctx.oracle = oracle;
+  ctx.tier = tier;
   ctx.params = qte_params;
   return ctx;
 }

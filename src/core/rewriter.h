@@ -41,6 +41,10 @@ struct RewriterEnv {
   const PlanTimeOracle* oracle = nullptr;
   const RewriteOptionSet* options = nullptr;
   const QueryTimeEstimator* qte = nullptr;
+  /// Histogram selectivity tier (rung 2 of the ladder); nullptr while
+  /// ServiceConfig::histogram_selectivity is off. Internally synchronized,
+  /// shared by every env the service builds.
+  const SelectivityTier* tier = nullptr;
   QteParams qte_params;
   EnvConfig env_config;
 

@@ -108,6 +108,7 @@ Status Engine::RegisterTable(std::unique_ptr<Table> table,
     entry.hashes[col_name] = std::make_unique<HashIndex>(*entry.table, col_name);
   }
   entry.stats = std::make_unique<TableStats>(*entry.table, TableStats::Options{});
+  entry.histograms = std::make_unique<TableHistograms>(*entry.table, histogram_options_);
   catalog_.emplace(std::move(name), std::move(entry));
   // Stats ground truth changed: stale cross-request knowledge. Release pairs
   // with the acquire in catalog_version() so readers that observe the bump
@@ -123,24 +124,32 @@ std::string Engine::SampleTableName(const std::string& base, double rate) {
 
 Status Engine::BuildSampleTables(const std::string& table,
                                  const std::vector<double>& rates, uint64_t seed) {
-  const TableEntry* base = FindEntry(table);
-  if (base == nullptr) return Status::NotFound("no table '" + table + "'");
+  auto base_it = catalog_.find(table);
+  if (base_it == catalog_.end()) return Status::NotFound("no table '" + table + "'");
+  TableEntry& base = base_it->second;
 
   // Reconstruct which columns were indexed on the base table so the sample
   // tables get the same access paths.
   std::vector<std::string> indexed;
   std::vector<std::string> hashed;
-  for (const auto& [col, idx] : base->btrees) indexed.push_back(col);
-  for (const auto& [col, idx] : base->rtrees) indexed.push_back(col);
-  for (const auto& [col, idx] : base->inverted) indexed.push_back(col);
-  for (const auto& [col, idx] : base->hashes) hashed.push_back(col);
+  for (const auto& [col, idx] : base.btrees) indexed.push_back(col);
+  for (const auto& [col, idx] : base.rtrees) indexed.push_back(col);
+  for (const auto& [col, idx] : base.inverted) indexed.push_back(col);
+  for (const auto& [col, idx] : base.hashes) hashed.push_back(col);
 
   Rng rng(seed);
   for (double rate : rates) {
+    int pct_x10 = static_cast<int>(std::lround(rate * 1000.0));
     std::string name = SampleTableName(table, rate);
-    if (catalog_.count(name) > 0) continue;
-    std::unique_ptr<Table> sample = base->table->Sample(rate, &rng, name);
-    MALIVA_RETURN_NOT_OK(RegisterTable(std::move(sample), indexed, hashed));
+    if (catalog_.count(name) == 0) {
+      std::unique_ptr<Table> sample = base.table->Sample(rate, &rng, name);
+      MALIVA_RETURN_NOT_OK(RegisterTable(std::move(sample), indexed, hashed));
+    }
+    // Hot-path cache: SampledSelectivity resolves the sample entry through
+    // this map instead of re-formatting the name string per probe. Catalog
+    // entries are node-stable, so the pointer stays valid for the engine's
+    // lifetime.
+    base.samples[pct_x10] = &catalog_.find(name)->second;
   }
   return Status::OK();
 }
@@ -150,18 +159,16 @@ const TableEntry* Engine::FindEntry(const std::string& name) const {
   return it == catalog_.end() ? nullptr : &it->second;
 }
 
-Result<double> Engine::TrueSelectivity(const std::string& table,
-                                       const Predicate& pred) const {
-  const TableEntry* entry = FindEntry(table);
-  if (entry == nullptr) return Status::NotFound("no table '" + table + "'");
-  size_t n = entry->table->NumRows();
+double Engine::TrueSelectivityOnEntry(const TableEntry& entry,
+                                      const Predicate& pred) const {
+  size_t n = entry.table->NumRows();
   if (n == 0) return 0.0;
 
   size_t count = 0;
   switch (pred.type) {
     case PredicateType::kKeyword: {
-      auto it = entry->inverted.find(pred.column);
-      if (it != entry->inverted.end()) {
+      auto it = entry.inverted.find(pred.column);
+      if (it != entry.inverted.end()) {
         count = it->second->DocFreq(pred.keyword);
         return static_cast<double>(count) / static_cast<double>(n);
       }
@@ -169,16 +176,16 @@ Result<double> Engine::TrueSelectivity(const std::string& table,
     }
     case PredicateType::kTimeRange:
     case PredicateType::kNumericRange: {
-      auto it = entry->btrees.find(pred.column);
-      if (it != entry->btrees.end()) {
+      auto it = entry.btrees.find(pred.column);
+      if (it != entry.btrees.end()) {
         count = it->second->RangeCount(pred.range.lo, pred.range.hi);
         return static_cast<double>(count) / static_cast<double>(n);
       }
       break;
     }
     case PredicateType::kSpatialBox: {
-      auto it = entry->rtrees.find(pred.column);
-      if (it != entry->rtrees.end()) {
+      auto it = entry.rtrees.find(pred.column);
+      if (it != entry.rtrees.end()) {
         count = it->second->Count(pred.box);
         return static_cast<double>(count) / static_cast<double>(n);
       }
@@ -187,26 +194,74 @@ Result<double> Engine::TrueSelectivity(const std::string& table,
   }
   // Scan fallback for unindexed predicates.
   for (RowId row = 0; row < n; ++row) {
-    if (EvalPredicate(*entry->table, pred, row)) ++count;
+    if (EvalPredicate(*entry.table, pred, row)) ++count;
   }
   return static_cast<double>(count) / static_cast<double>(n);
 }
 
+Result<double> Engine::TrueSelectivity(const std::string& table,
+                                       const Predicate& pred) const {
+  const TableEntry* entry = FindEntry(table);
+  if (entry == nullptr) return Status::NotFound("no table '" + table + "'");
+  return TrueSelectivityOnEntry(*entry, pred);
+}
+
 Result<double> Engine::SampledSelectivity(const std::string& table, const Predicate& pred,
                                           double sample_rate) const {
-  std::string sample_name = SampleTableName(table, sample_rate);
-  const TableEntry* entry = FindEntry(sample_name);
+  // Hot path: resolve the sample entry through the base entry's per-rate
+  // cache (filled by BuildSampleTables) — no name formatting, one lookup.
+  const TableEntry* entry = nullptr;
+  const TableEntry* base = FindEntry(table);
+  if (base != nullptr) {
+    auto it = base->samples.find(static_cast<int>(std::lround(sample_rate * 1000.0)));
+    if (it != base->samples.end()) entry = it->second;
+  }
   if (entry == nullptr) {
-    return Status::NotFound("sample table '" + sample_name + "' not built");
+    // Cold path (samples registered without BuildSampleTables): format the
+    // canonical name and look it up.
+    std::string sample_name = SampleTableName(table, sample_rate);
+    entry = FindEntry(sample_name);
+    if (entry == nullptr) {
+      return Status::NotFound("sample table '" + sample_name + "' not built");
+    }
   }
   size_t n = entry->table->NumRows();
   if (n == 0) return 0.0;
-  Result<double> exact = TrueSelectivity(sample_name, pred);
-  if (!exact.ok()) return exact.status();
   // count(*) on the sample with add-half smoothing: rare predicates hit zero
   // sample matches, which is exactly the sampling-QTE error source.
-  double count = exact.value() * static_cast<double>(n);
+  double count = TrueSelectivityOnEntry(*entry, pred) * static_cast<double>(n);
   return (count + 0.5) / (static_cast<double>(n) + 1.0);
+}
+
+Result<double> Engine::HistogramSelectivity(const std::string& table,
+                                            const Predicate& pred,
+                                            uint64_t epoch) const {
+  if (epoch != catalog_version()) {
+    return Status::FailedPrecondition(
+        "stale histogram epoch " + std::to_string(epoch) + " (catalog is at " +
+        std::to_string(catalog_version()) + "); refresh before estimating");
+  }
+  const TableEntry* entry = FindEntry(table);
+  if (entry == nullptr) return Status::NotFound("no table '" + table + "'");
+  std::optional<double> est = entry->histograms->Estimate(pred);
+  if (!est.has_value()) {
+    return Status::NotFound("no histogram covers column '" + pred.column + "'");
+  }
+  return *est;
+}
+
+void Engine::ConfigureHistograms(const HistogramOptions& options) {
+  if (options.buckets == histogram_options_.buckets &&
+      options.grid_cells == histogram_options_.grid_cells) {
+    return;
+  }
+  histogram_options_ = options;
+  for (auto& [name, entry] : catalog_) {
+    entry.histograms = std::make_unique<TableHistograms>(*entry.table, histogram_options_);
+  }
+  // Statistics ground truth changed resolution: stale epochs must not be
+  // served (same release/acquire pairing as RegisterTable).
+  catalog_version_.fetch_add(1, std::memory_order_release);
 }
 
 double Engine::EstimateOutputCardinality(const Query& q) const {

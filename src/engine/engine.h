@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "engine/cost_model.h"
+#include "engine/histogram.h"
 #include "engine/plan.h"
 #include "engine/profile.h"
 #include "engine/table_stats.h"
@@ -36,6 +37,14 @@ struct TableEntry {
   std::unordered_map<std::string, std::unique_ptr<InvertedIndex>> inverted;
   std::unordered_map<std::string, std::unique_ptr<HashIndex>> hashes;
   std::unique_ptr<TableStats> stats;
+  /// Accurate full-table histograms (the O(1) selectivity tier); always
+  /// built, consulted only through HistogramSelectivity's epoch guard.
+  std::unique_ptr<TableHistograms> histograms;
+  /// Sample tables of this entry keyed by per-mille rate (the SampleTableName
+  /// suffix integer), so SampledSelectivity resolves its sample without
+  /// formatting the name string per probe. Catalog entries are node-stable,
+  /// so the cached pointers survive rehashing.
+  std::unordered_map<int, const TableEntry*> samples;
 };
 
 /// The simulated backend database the middleware talks to.
@@ -82,6 +91,23 @@ class Engine {
   Result<double> SampledSelectivity(const std::string& table, const Predicate& pred,
                                     double sample_rate) const;
 
+  /// O(1) histogram estimate of `pred` over the named table (no table or
+  /// index access). `epoch` must equal the current catalog_version(): a
+  /// caller holding a stale epoch gets FailedPrecondition instead of an
+  /// estimate computed against moved statistics ground truth. NotFound when
+  /// the table is unknown or no histogram covers the predicate's column
+  /// (keyword predicates never have one).
+  Result<double> HistogramSelectivity(const std::string& table, const Predicate& pred,
+                                      uint64_t epoch) const;
+
+  /// Replaces the histogram resolution and rebuilds every registered table's
+  /// histograms (a stats refresh: bumps catalog_version()). No-op when the
+  /// options already match. Build-phase only — like RegisterTable, this must
+  /// not race with queries executing against the catalog.
+  void ConfigureHistograms(const HistogramOptions& options);
+
+  const HistogramOptions& histogram_options() const { return histogram_options_; }
+
   /// Estimated (optimizer-stats) result cardinality of `q` in *actual* rows,
   /// used to translate LIMIT fractions into row counts.
   double EstimateOutputCardinality(const Query& q) const;
@@ -110,10 +136,15 @@ class Engine {
  private:
   friend class Executor;
 
+  /// TrueSelectivity body over an already resolved entry (the hot probe path
+  /// skips the by-name lookup).
+  double TrueSelectivityOnEntry(const TableEntry& entry, const Predicate& pred) const;
+
   EngineProfile profile_;
   CostModel cost_model_;
   CostModel planner_cost_model_;
   uint64_t seed_;
+  HistogramOptions histogram_options_;
   std::atomic<uint64_t> catalog_version_{0};
   std::unordered_map<std::string, TableEntry> catalog_;
   std::unique_ptr<Optimizer> optimizer_;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "qte/selectivity_tier.h"
+
 namespace maliva {
 
 QteEstimate AccurateQte::Estimate(const QteContext& ctx, size_t ro_index,
@@ -11,17 +13,19 @@ QteEstimate AccurateQte::Estimate(const QteContext& ctx, size_t ro_index,
   out.cost_ms = CollectCostMs(ctx, ro_index, *cache);
 
   // Mark the needed selectivities as collected (with their true values, which
-  // later estimators may reuse).
-  size_t m = ctx.query->predicates.size();
+  // later estimators may reuse). The accurate QTE never serves from the
+  // histogram tier — exactness is its contract — but its ground-truth probes
+  // are the best error signal there is, so each one scores the tier's trust
+  // windows (no estimate, cost, or result changes: byte-identity holds).
   for (size_t slot : ctx.NeededSlots(ro_index)) {
     if (cache->Has(slot)) continue;
-    const Predicate& pred =
-        slot < m ? ctx.query->predicates[slot]
-                 : ctx.query->join->right_predicates[slot - m];
-    const std::string& table =
-        slot < m ? ctx.query->table : ctx.query->join->right_table;
-    Result<double> sel = ctx.engine->TrueSelectivity(table, pred);
+    QteContext::SlotTarget target = ctx.SlotTargetFor(slot);
+    Result<double> sel = ctx.engine->TrueSelectivity(*target.table, *target.pred);
     cache->Set(slot, sel.ok() ? sel.value() : 0.0);
+    cache->NoteProbe();
+    if (ctx.tier != nullptr && sel.ok()) {
+      ctx.tier->RecordProbe(*target.table, *target.pred, sel.value());
+    }
   }
 
   out.est_ms = ctx.oracle->TrueTimeMs(*ctx.query, (*ctx.options)[ro_index]);

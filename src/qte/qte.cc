@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "qte/selectivity_tier.h"
+
 namespace maliva {
 
 namespace {
@@ -22,6 +24,13 @@ size_t QteContext::NumSlots() const {
   size_t n = query->predicates.size();
   if (query->join.has_value()) n += query->join->right_predicates.size();
   return n;
+}
+
+QteContext::SlotTarget QteContext::SlotTargetFor(size_t slot) const {
+  size_t m = query->predicates.size();
+  if (slot < m) return {&query->table, &query->predicates[slot]};
+  assert(query->join.has_value());
+  return {&query->join->right_table, &query->join->right_predicates[slot - m]};
 }
 
 std::vector<size_t> QteContext::NeededSlots(size_t ro_index) const {
@@ -68,9 +77,21 @@ double QueryTimeEstimator::CollectCostMs(const QteContext& ctx, size_t ro_index,
 
 double QueryTimeEstimator::PredictCostMs(const QteContext& ctx, size_t ro_index,
                                          const SelectivityCache& cache) const {
+  // The histogram tier shrinks the *predicted* C_i exactly where it will
+  // shrink the actual collection bill: slots the tier can answer are charged
+  // its near-zero cost instead of the probe's unit cost, so the agent's MDP
+  // state sees the cheap rung (paper Fig 7: estimation cost C_i drops as
+  // knowledge accumulates).
+  bool tiered = UsesHistogramTier() && ctx.tier != nullptr;
   double cost = ctx.params.model_eval_ms;
   for (size_t slot : ctx.NeededSlots(ro_index)) {
-    if (!cache.Has(slot)) cost += CostFactor() * ctx.params.unit_cost_ms;
+    if (cache.Has(slot)) continue;
+    QteContext::SlotTarget target = ctx.SlotTargetFor(slot);
+    if (tiered && ctx.tier->CanEstimate(*target.table, *target.pred)) {
+      cost += ctx.tier->config().histogram_cost_ms;
+    } else {
+      cost += CostFactor() * ctx.params.unit_cost_ms;
+    }
   }
   return cost;
 }

@@ -15,6 +15,8 @@
 
 namespace maliva {
 
+class SelectivityTier;
+
 /// Everything a QTE needs to estimate rewritten queries of one original
 /// query: the query, the predefined RO set Omega, the engine, the ground-truth
 /// oracle, and the cost parameters of selectivity collection.
@@ -24,11 +26,23 @@ struct QteContext {
   const Engine* engine = nullptr;
   const PlanTimeOracle* oracle = nullptr;
 
+  /// Histogram tier (rung 2 of the selectivity ladder); nullptr while
+  /// ServiceConfig::histogram_selectivity is off, preserving byte-identity.
+  const SelectivityTier* tier = nullptr;
+
   /// Cost parameters of selectivity collection (see qte/qte_params.h).
   QteParams params;
 
   /// Number of selectivity slots: base predicates + join right predicates.
   size_t NumSlots() const;
+
+  /// The (table, predicate) a slot resolves to: slots [0, m) are the base
+  /// predicates, slots [m, m + r) the join right-side predicates.
+  struct SlotTarget {
+    const std::string* table;
+    const Predicate* pred;
+  };
+  SlotTarget SlotTargetFor(size_t slot) const;
 
   /// Slots whose selectivities are needed to estimate option `ro_index`:
   /// the attributes whose index the hint set uses (all of them for the
@@ -63,6 +77,12 @@ class QueryTimeEstimator {
   /// costlier than sampling (paper Section 7.4: at tight budgets the
   /// Accurate-QTE is "too expensive for planning").
   virtual double CostFactor() const { return 1.0; }
+
+  /// Whether this estimator serves slots from the histogram tier when
+  /// QteContext::tier is bound. The sampling QTE does (a histogram estimate
+  /// replaces its sample probe outright); the accurate QTE keeps probing for
+  /// ground truth and only feeds the tier's error windows.
+  virtual bool UsesHistogramTier() const { return false; }
 
   /// Estimates option `ro_index`, collecting missing selectivities into
   /// `cache` (and paying their cost).

@@ -19,6 +19,11 @@ class SamplingQte : public QueryTimeEstimator {
  public:
   const char* name() const override { return "Approximate-QTE"; }
 
+  /// With a SelectivityTier bound (QteContext::tier), slots the tier can
+  /// answer skip the sample probe entirely and are charged the tier's
+  /// near-zero histogram cost.
+  bool UsesHistogramTier() const override { return true; }
+
   QteEstimate Estimate(const QteContext& ctx, size_t ro_index,
                        SelectivityCache* cache) const override;
 };

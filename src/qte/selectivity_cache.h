@@ -34,17 +34,28 @@ class SelectivityCache {
 
   void Set(size_t slot, double selectivity) {
     assert(slot < slots_.size());
+    if (!slots_[slot].has_value()) ++collected_;
     slots_[slot] = selectivity;
   }
 
-  size_t NumCollected() const {
-    size_t n = 0;
-    for (const auto& s : slots_) n += s.has_value() ? 1 : 0;
-    return n;
-  }
+  /// Slots holding a value. Maintained incrementally in Set() — this is read
+  /// per response for telemetry, so it must not rescan the slots.
+  size_t NumCollected() const { return collected_; }
+
+  // Tier accounting (DESIGN.md "Selectivity tiers"): how the collected slots
+  // were filled. Shared-store seeds are tracked by the session
+  // (RewriteSession::shared_seeded); these two split the remainder between
+  // the histogram rung and the probe rung.
+  void NoteHistogramHit() { ++histogram_hits_; }
+  void NoteProbe() { ++probes_; }
+  size_t histogram_hits() const { return histogram_hits_; }
+  size_t probes() const { return probes_; }
 
  private:
   std::vector<std::optional<double>> slots_;
+  size_t collected_ = 0;
+  size_t histogram_hits_ = 0;
+  size_t probes_ = 0;
 };
 
 }  // namespace maliva

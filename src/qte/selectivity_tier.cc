@@ -1,0 +1,100 @@
+#include "qte/selectivity_tier.h"
+
+#include <cmath>
+
+namespace maliva {
+
+SelectivityTier::SelectivityTier(const Engine* engine, SelectivityTierConfig config)
+    : engine_(engine),
+      config_(config),
+      epoch_(engine->catalog_version()),
+      shards_(kNumShards) {
+  if (config_.error_window == 0) config_.error_window = 1;
+}
+
+SelectivityTier::Shard& SelectivityTier::ShardFor(const std::string& key) const {
+  return shards_[std::hash<std::string>{}(key) % kNumShards];
+}
+
+bool SelectivityTier::Demoted(const std::string& table, const Predicate& pred) const {
+  std::string key = Key(table, pred.column);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.windows.find(key);
+  if (it == shard.windows.end()) return false;
+  const ErrorWindow& w = it->second;
+  return w.count >= kMinErrorSamples && w.Mean() > config_.max_rel_error;
+}
+
+std::optional<double> SelectivityTier::Estimate(const std::string& table,
+                                                const Predicate& pred) const {
+  if (!Fresh()) return std::nullopt;
+  if (Demoted(table, pred)) return std::nullopt;
+  Result<double> est =
+      engine_->HistogramSelectivity(table, pred, epoch_.load(std::memory_order_acquire));
+  if (!est.ok()) return std::nullopt;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return est.value();
+}
+
+bool SelectivityTier::CanEstimate(const std::string& table, const Predicate& pred) const {
+  if (!Fresh()) return false;
+  if (Demoted(table, pred)) return false;
+  return engine_
+      ->HistogramSelectivity(table, pred, epoch_.load(std::memory_order_acquire))
+      .ok();
+}
+
+void SelectivityTier::RecordProbe(const std::string& table, const Predicate& pred,
+                                  double probed) const {
+  if (!Fresh()) return;
+  Result<double> est =
+      engine_->HistogramSelectivity(table, pred, epoch_.load(std::memory_order_acquire));
+  if (!est.ok()) return;
+  double rel = std::abs(est.value() - probed) / std::max(probed, kRelErrorFloor);
+
+  std::string key = Key(table, pred.column);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ErrorWindow& w = shard.windows[key];
+  if (w.ring.empty()) w.ring.assign(config_.error_window, 0.0);
+  if (w.count == w.ring.size()) {
+    w.sum -= w.ring[w.next];  // evict the oldest sample
+  } else {
+    ++w.count;
+  }
+  w.ring[w.next] = rel;
+  w.sum += rel;
+  w.next = (w.next + 1) % w.ring.size();
+  probe_records_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SelectivityTier::Refresh() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.windows.clear();
+  }
+  epoch_.store(engine_->catalog_version(), std::memory_order_release);
+}
+
+SelectivityTier::Stats SelectivityTier::Snapshot() const {
+  Stats s;
+  s.histogram_hits = hits_.load(std::memory_order_relaxed);
+  s.probe_records = probe_records_.load(std::memory_order_relaxed);
+  double sum = 0.0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, w] : shard.windows) {
+      s.error_samples += w.count;
+      sum += w.sum;
+      if (w.count >= kMinErrorSamples && w.Mean() > config_.max_rel_error) {
+        ++s.demoted_columns;
+      }
+    }
+  }
+  s.mean_abs_rel_error =
+      s.error_samples == 0 ? 0.0 : sum / static_cast<double>(s.error_samples);
+  return s;
+}
+
+}  // namespace maliva

@@ -54,6 +54,29 @@ Status ServiceConfig::Validate() const {
           "cross_request_cache requires signature_literal_bins >= 1");
     }
   }
+  if (histogram_selectivity) {
+    if (histogram_buckets == 0) {
+      return Status::InvalidArgument(
+          "histogram_selectivity requires histogram_buckets > 0");
+    }
+    if (histogram_grid_cells == 0) {
+      return Status::InvalidArgument(
+          "histogram_selectivity requires histogram_grid_cells > 0");
+    }
+    if (!(histogram_cost_ms >= 0.0) || !std::isfinite(histogram_cost_ms)) {
+      return Status::InvalidArgument(
+          "histogram_cost_ms must be finite and non-negative");
+    }
+    if (!(max_histogram_rel_error > 0.0) ||
+        !std::isfinite(max_histogram_rel_error)) {
+      return Status::InvalidArgument(
+          "max_histogram_rel_error must be finite and positive");
+    }
+    if (histogram_error_window == 0) {
+      return Status::InvalidArgument(
+          "histogram_selectivity requires histogram_error_window > 0");
+    }
+  }
   if (online_learning) {
     if (online_min_transitions == 0) {
       return Status::InvalidArgument(
@@ -145,6 +168,22 @@ MalivaService::MalivaService(Scenario* scenario, ServiceConfig config)
     store_config.shards = config_.shared_store_shards;
     state_.shared_store = std::make_unique<SharedSelectivityStore>(store_config);
   }
+  if (config_status_.ok() && config_.histogram_selectivity) {
+    // Rebuild the engine's histograms at the configured resolution first:
+    // ConfigureHistograms bumps the catalog version on a resolution change,
+    // and the tier must capture the post-rebuild epoch or it would decline
+    // every estimate as stale from the first request.
+    HistogramOptions hist;
+    hist.buckets = config_.histogram_buckets;
+    hist.grid_cells = config_.histogram_grid_cells;
+    scenario_->engine->ConfigureHistograms(hist);
+    SelectivityTierConfig tier_config;
+    tier_config.histogram_cost_ms = config_.histogram_cost_ms;
+    tier_config.max_rel_error = config_.max_histogram_rel_error;
+    tier_config.error_window = config_.histogram_error_window;
+    state_.selectivity_tier = std::make_unique<SelectivityTier>(
+        scenario_->engine.get(), tier_config);
+  }
   if (config_status_.ok() && config_.online_learning) {
     state_.model_registry =
         std::make_unique<ModelRegistry>(config_.online_max_snapshots);
@@ -226,6 +265,7 @@ RewriterEnv MalivaService::MakeEnv(const QueryTimeEstimator* qte, double beta,
   renv.oracle = scenario_->oracle.get();
   renv.options = options != nullptr ? options : &scenario_->options;
   renv.qte = qte;
+  renv.tier = state_.selectivity_tier.get();
   renv.qte_params = qte_params_;
   renv.env_config.tau_ms = scenario_->config.tau_ms;
   renv.env_config.beta = beta;
@@ -402,6 +442,8 @@ Result<RewriteResponse> MalivaService::ServeIndexed(const RewriteRequest& reques
     resp.stats.serve_wall_ms = wall_ms;
     telemetry_.RecordServed(resp.stats.selectivities_collected,
                             resp.stats.shared_hits, resp.stats.shared_published,
+                            resp.stats.selectivity_tier_hits[1],
+                            resp.stats.selectivity_tier_hits[2],
                             resp.exact_fallback, wall_ms);
   } else {
     telemetry_.RecordError(wall_ms);
@@ -484,12 +526,20 @@ Result<RewriteResponse> MalivaService::ServeImpl(const RewriteRequest& request,
   // request and is published back for the fleet. Publish is first-writer-
   // wins, so re-publishing seeded slots is a no-op and does not count.
   size_t total_collected = 0;
+  size_t histogram_hits = 0;
+  size_t probes = 0;
   for (const SelectivityCache& cache : session.caches()) {
     total_collected += cache.NumCollected();
+    histogram_hits += cache.histogram_hits();
+    probes += cache.probes();
   }
   resp.stats.shared_hits = session.shared_seeded();
   resp.stats.selectivities_collected =
       total_collected - std::min(total_collected, session.shared_seeded());
+  // Ladder accounting, rung by rung: shared seeds, histogram answers, probes.
+  resp.stats.selectivity_tier_hits[0] = session.shared_seeded();
+  resp.stats.selectivity_tier_hits[1] = histogram_hits;
+  resp.stats.selectivity_tier_hits[2] = probes;
   if (store != nullptr) {
     for (const SelectivityCache& cache : session.caches()) {
       if (cache.num_slots() != canonical.slot_keys.size()) continue;
@@ -532,6 +582,14 @@ ServiceStats MalivaService::Stats() const {
     stats.store_size = state_.shared_store->Size();
     stats.store_evictions = state_.shared_store->Evictions();
     stats.store_epoch = scenario_->engine->catalog_version();
+  }
+  // histogram_* tier-health fields stay identically zero while the tier is
+  // off; the per-rung hit counters above are recorded unconditionally.
+  if (state_.selectivity_tier != nullptr) {
+    SelectivityTier::Stats tier = state_.selectivity_tier->Snapshot();
+    stats.histogram_mean_abs_rel_error = tier.mean_abs_rel_error;
+    stats.histogram_error_samples = tier.error_samples;
+    stats.histogram_demoted_columns = tier.demoted_columns;
   }
   // online_* fields stay identically zero while the plane is off (the
   // documented ServiceStats contract, mirroring the store_* fields).

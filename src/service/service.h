@@ -107,6 +107,31 @@ struct ServiceConfig {
   /// (SignatureOptions::literal_bins). Must be >= 1 when the cache is on.
   int signature_literal_bins = SignatureOptions{}.literal_bins;
 
+  /// Histogram selectivity tier (DESIGN.md "Selectivity tiers"). Off
+  /// (default): cold selectivity lookups pay the sample probe and ServeBatch
+  /// stays byte-identical at every thread count. On: the sampling QTE
+  /// answers slots from accurate full-table histograms
+  /// (Engine::HistogramSelectivity, O(1), no table access) at the near-zero
+  /// histogram_cost_ms instead of the probe's unit cost, with per-column
+  /// trust learned from estimate-vs-probe error; requests stay deterministic
+  /// given the tier's trust state (like the shared store's snapshot
+  /// semantics).
+  bool histogram_selectivity = false;
+  /// Equi-width buckets per numeric column. Must be > 0 when the tier is on.
+  size_t histogram_buckets = 64;
+  /// Grid cells per axis for point columns. Must be > 0 when the tier is on.
+  size_t histogram_grid_cells = 64;
+  /// Virtual cost charged per histogram-answered slot (replaces the probe's
+  /// QteParams::unit_cost_ms). Must be finite and >= 0 when the tier is on.
+  double histogram_cost_ms = 0.5;
+  /// Demotion threshold: a (table, column) whose windowed mean relative
+  /// error vs probes exceeds this falls back to probing. Must be finite and
+  /// > 0 when the tier is on.
+  double max_histogram_rel_error = 0.35;
+  /// Per-(table, column) error samples retained for the trust decision.
+  /// Must be > 0 when the tier is on.
+  size_t histogram_error_window = 32;
+
   /// Online learning plane (DESIGN.md "Online learning plane"). Off
   /// (default): agents stay frozen after warm-up and ServeBatch results are
   /// byte-identical to pre-online behavior at every thread count. On:
@@ -216,6 +241,30 @@ struct ServiceConfig {
     signature_literal_bins = bins;
     return *this;
   }
+  ServiceConfig& WithHistogramSelectivity(bool enabled) {
+    histogram_selectivity = enabled;
+    return *this;
+  }
+  ServiceConfig& WithHistogramBuckets(size_t buckets) {
+    histogram_buckets = buckets;
+    return *this;
+  }
+  ServiceConfig& WithHistogramGridCells(size_t cells) {
+    histogram_grid_cells = cells;
+    return *this;
+  }
+  ServiceConfig& WithHistogramCostMs(double ms) {
+    histogram_cost_ms = ms;
+    return *this;
+  }
+  ServiceConfig& WithMaxHistogramRelError(double rel_error) {
+    max_histogram_rel_error = rel_error;
+    return *this;
+  }
+  ServiceConfig& WithHistogramErrorWindow(size_t window) {
+    histogram_error_window = window;
+    return *this;
+  }
   ServiceConfig& WithOnlineLearning(bool enabled) {
     online_learning = enabled;
     return *this;
@@ -284,6 +333,12 @@ struct RequestStats {
   size_t selectivities_collected = 0;
   /// Slots pre-seeded free from the shared store.
   size_t shared_hits = 0;
+  /// Per-rung slot accounting of the selectivity ladder: [0] shared-store
+  /// seeds (== shared_hits), [1] histogram-tier estimates, [2] probes
+  /// (sample/true-selectivity collections, statistics fallbacks included).
+  /// [1] + [2] == selectivities_collected; [1] is identically zero while
+  /// ServiceConfig::histogram_selectivity is off.
+  size_t selectivity_tier_hits[3] = {0, 0, 0};
   /// New entries this request contributed to the shared store.
   size_t shared_published = 0;
   /// Version of the agent snapshot that served this request; 0 when the

@@ -48,6 +48,20 @@ void AccumulateInto(ServiceStats& totals, const ServiceStats& shard) {
   totals.shared_published += shard.shared_published;
   totals.store_size += shard.store_size;
   totals.store_evictions += shard.store_evictions;
+  // Fleet-wide histogram error is the sample-weighted mean of the shard
+  // means — each shard's mean already averages over its error_samples.
+  double error_mass = totals.histogram_mean_abs_rel_error *
+                          static_cast<double>(totals.histogram_error_samples) +
+                      shard.histogram_mean_abs_rel_error *
+                          static_cast<double>(shard.histogram_error_samples);
+  totals.histogram_hits += shard.histogram_hits;
+  totals.probe_collections += shard.probe_collections;
+  totals.histogram_error_samples += shard.histogram_error_samples;
+  totals.histogram_demoted_columns += shard.histogram_demoted_columns;
+  totals.histogram_mean_abs_rel_error =
+      totals.histogram_error_samples == 0
+          ? 0.0
+          : error_mass / static_cast<double>(totals.histogram_error_samples);
   totals.online_transitions += shard.online_transitions;
   totals.online_transitions_dropped += shard.online_transitions_dropped;
   totals.online_transitions_pending += shard.online_transitions_pending;

@@ -26,6 +26,7 @@
 #include "core/rewriter.h"
 #include "qte/accurate_qte.h"
 #include "qte/sampling_qte.h"
+#include "qte/selectivity_tier.h"
 #include "qte/shared_selectivity_store.h"
 #include "quality/quality.h"
 #include "service/continual_trainer.h"
@@ -64,6 +65,12 @@ struct ServingState {
   /// internally synchronized (sharded shared_mutex), so the exception does
   /// not leak into the locking protocol above.
   std::unique_ptr<SharedSelectivityStore> shared_store;
+
+  /// Histogram selectivity tier, rung 2 of the ladder (null while
+  /// ServiceConfig::histogram_selectivity is off). Internally synchronized
+  /// like the shared store: serving threads read estimates and feed probe
+  /// errors into its per-column trust windows concurrently.
+  std::unique_ptr<SelectivityTier> selectivity_tier;
 
   /// Online learning plane (both null while ServiceConfig::online_learning
   /// is off). Like the shared store, these are internally synchronized

@@ -38,6 +38,18 @@ struct ServiceStats {
   uint64_t store_evictions = 0;          ///< FIFO evictions so far
   uint64_t store_epoch = 0;              ///< engine catalog version at snapshot
 
+  // Selectivity ladder (DESIGN.md "Selectivity tiers"). histogram_hits and
+  // probe_collections split selectivities_collected by rung: slots answered
+  // O(1) from full-table histograms vs slots that paid a sample probe (or
+  // statistics fallback). histogram_hits is identically zero while
+  // ServiceConfig::histogram_selectivity is off; the health fields below it
+  // come from the tier's trust windows at snapshot time.
+  uint64_t histogram_hits = 0;        ///< slots answered by the histogram tier
+  uint64_t probe_collections = 0;     ///< slots that paid a probe
+  double histogram_mean_abs_rel_error = 0.0;  ///< windowed estimate-vs-probe error
+  uint64_t histogram_error_samples = 0;       ///< samples behind that mean
+  uint64_t histogram_demoted_columns = 0;     ///< columns demoted to probing
+
   // Online learning plane (identically zero while ServiceConfig::
   // online_learning is off). online_snapshot_version is the newest
   // published agent snapshot across agent keys (1 = offline warm-up weights
@@ -81,11 +93,14 @@ struct ServiceStats {
 class ServingTelemetry {
  public:
   void RecordServed(uint64_t collected, uint64_t shared_hits, uint64_t published,
+                    uint64_t histogram_hits, uint64_t probes,
                     bool exact_fallback, double wall_ms) {
     requests_.fetch_add(1, std::memory_order_relaxed);
     collected_.fetch_add(collected, std::memory_order_relaxed);
     shared_hits_.fetch_add(shared_hits, std::memory_order_relaxed);
     published_.fetch_add(published, std::memory_order_relaxed);
+    histogram_hits_.fetch_add(histogram_hits, std::memory_order_relaxed);
+    probes_.fetch_add(probes, std::memory_order_relaxed);
     if (exact_fallback) fallbacks_.fetch_add(1, std::memory_order_relaxed);
     wall_ns_.fetch_add(static_cast<uint64_t>(wall_ms * 1e6), std::memory_order_relaxed);
   }
@@ -105,6 +120,8 @@ class ServingTelemetry {
     s.selectivities_collected = collected_.load(std::memory_order_relaxed);
     s.shared_hits = shared_hits_.load(std::memory_order_relaxed);
     s.shared_published = published_.load(std::memory_order_relaxed);
+    s.histogram_hits = histogram_hits_.load(std::memory_order_relaxed);
+    s.probe_collections = probes_.load(std::memory_order_relaxed);
     s.serve_wall_ms_total =
         static_cast<double>(wall_ns_.load(std::memory_order_relaxed)) / 1e6;
     return s;
@@ -117,6 +134,8 @@ class ServingTelemetry {
   std::atomic<uint64_t> collected_{0};
   std::atomic<uint64_t> shared_hits_{0};
   std::atomic<uint64_t> published_{0};
+  std::atomic<uint64_t> histogram_hits_{0};
+  std::atomic<uint64_t> probes_{0};
   std::atomic<uint64_t> wall_ns_{0};
 };
 
