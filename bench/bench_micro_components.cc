@@ -10,6 +10,7 @@
 #include "index/inverted_index.h"
 #include "index/rtree_index.h"
 #include "ml/mlp.h"
+#include "query/signature.h"
 #include "workload/twitter.h"
 
 namespace maliva {
@@ -138,6 +139,28 @@ void BM_HistogramSelectivity(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HistogramSelectivity);
+
+void BM_QuerySignature(benchmark::State& state) {
+  // Cost of the per-request canonicalization + fingerprint the serving path
+  // hoists once per request (shared by the selectivity store and the
+  // rewrite-result cache): three-predicate query, signature + cache key.
+  Query q;
+  q.id = 3;
+  q.table = "tweets";
+  q.output_column = "coordinates";
+  q.predicates.push_back(Predicate::Keyword("text", "w5"));
+  q.predicates.push_back(
+      Predicate::Time("created_at", 1446336000, 1446336000 + 10LL * 86400));
+  q.predicates.push_back(Predicate::Spatial("coordinates", {-110, 30, -100, 40}));
+  const std::string strategy = "mdp";
+  for (auto _ : state) {
+    CanonicalQuery canonical = Canonicalize(q);
+    benchmark::DoNotOptimize(
+        MakeRequestFingerprint(canonical.signature, strategy, 100.0, 0.9));
+    benchmark::DoNotOptimize(canonical);
+  }
+}
+BENCHMARK(BM_QuerySignature);
 
 void BM_QNetworkForward(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));

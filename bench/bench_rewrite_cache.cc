@@ -1,0 +1,400 @@
+// Rewrite-result cache: repetitive-stream amortization (ISSUE 8).
+//
+// Not a paper figure — this measures the reproduction's own decision tier
+// (DESIGN.md "Rewrite-result cache"). The workload it attacks is the
+// dashboard pattern: the same handful of visualization queries arriving over
+// and over (every pan/zoom refresh re-issues the panel's queries). Without
+// the cache each arrival re-runs the full rewrite search — QTE estimates per
+// candidate option, with sample-table probes on unindexed columns; with it,
+// every arrival after the first replays the cached decision in O(1). Three
+// phases:
+//
+//   1. hot stream — twin scenarios (same seed, separate oracle memos), a
+//      K-distinct-query stream repeated R times, cache off vs on: the off
+//      run pays K*R searches, the on run pays K searches + K*R replays,
+//      and the on run's hot QPS must be >= 3x the off run's;
+//   2. hit/miss byte-equality — every hot-stream hit must replay its miss's
+//      decision bytes exactly (strategy, SQL, outcome, stats template);
+//   3. coalescing burst — (a) 8 threads hit one cold key simultaneously:
+//      single-flight must collapse the 8 searches to fewer than 8 (one
+//      leader, followers coalesce or hit); (b) one ServeBatch of 64 copies
+//      of a cold request: in-batch dedup must serve exactly 1 search + 63
+//      replays, deterministically.
+//
+// The scenario mirrors bench_selectivity_tiers: four predicates, two
+// unindexed (their QTE probes scan the sample table), shared store and
+// histogram tier both OFF — so the off run's repeats stay honestly
+// expensive and the measured gap is the cache's alone. Results land in
+// BENCH_rewrite_cache.json (--out overrides); --smoke runs a seconds-scale
+// variant for CI. Non-zero exit when any invariant fails.
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "service/service.h"
+
+namespace maliva {
+namespace bench {
+namespace {
+
+struct CacheBenchOptions {
+  bool smoke = false;
+  std::string out_path = "BENCH_rewrite_cache.json";
+};
+
+constexpr double kSampleRate = 0.05;
+
+/// Hand-built scenario (BuildScenario indexes every filter attribute, which
+/// would make the off run's probes O(log n) index counts — too cheap for an
+/// honest baseline). Twin builds from the same seed are byte-identical, so
+/// the off and on runs pay the same per-search bill from their own cold
+/// oracle memos.
+Scenario BuildRepetitiveScenario(size_t rows, size_t num_queries, uint64_t seed) {
+  Scenario s;
+  s.config.kind = DatasetKind::kTwitter;
+  s.config.num_rows = rows;
+  s.config.num_queries = num_queries;
+  s.config.tau_ms = 500.0;
+  s.config.seed = seed;
+  s.config.qte.qte_sample_rate = kSampleRate;
+
+  s.engine = std::make_unique<Engine>(EngineProfile::PostgresLike(), seed);
+  Schema schema = {{"id", ColumnType::kInt64},
+                   {"created_at", ColumnType::kTimestamp},
+                   {"coordinates", ColumnType::kPoint},
+                   {"user_followers", ColumnType::kDouble},
+                   {"user_friends", ColumnType::kDouble}};
+  auto table = std::make_unique<Table>("tweets", schema);
+  Rng rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    table->MutableColumnAt(0).AppendInt64(static_cast<int64_t>(i));
+    table->MutableColumnAt(1).AppendTimestamp(rng.UniformInt(0, 1000000));
+    table->MutableColumnAt(2).AppendPoint(
+        GeoPoint{rng.Uniform(0, 100), rng.Uniform(0, 50)});
+    table->MutableColumnAt(3).AppendDouble(-1500.0 * std::log(rng.Uniform(1e-6, 1.0)));
+    table->MutableColumnAt(4).AppendDouble(rng.Uniform(0, 10000));
+  }
+  Status st = table->Seal();
+  assert(st.ok());
+  // Indexes on the first two filter columns only: user_followers and
+  // user_friends probes must scan the sample table on every search.
+  st = s.engine->RegisterTable(std::move(table), {"created_at", "coordinates"});
+  assert(st.ok());
+  st = s.engine->BuildSampleTables("tweets", {kSampleRate}, seed ^ 0x5a);
+  assert(st.ok());
+  (void)st;
+
+  s.oracle = std::make_unique<PlanTimeOracle>(s.engine.get());
+  s.options = EnumerateHintOnlyOptions(2);
+
+  // The dashboard panel: `num_queries` distinct shapes that the stream will
+  // re-issue verbatim, repeat after repeat.
+  s.queries.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    Query q;
+    q.id = i + 1;
+    q.table = "tweets";
+    q.output = OutputKind::kHeatmap;
+    q.output_column = "coordinates";
+    double ts_lo = rng.Uniform(0, 990000);
+    double lon = rng.Uniform(0, 94);
+    double lat = rng.Uniform(0, 47);
+    double fol_lo = rng.Uniform(0, 3000);
+    double fri_lo = rng.Uniform(0, 9000);
+    q.predicates = {
+        Predicate::Time("created_at", ts_lo, ts_lo + 10000),
+        Predicate::Spatial("coordinates", BoundingBox{lon, lat, lon + 6, lat + 3}),
+        Predicate::Numeric("user_followers", fol_lo, fol_lo + rng.Uniform(500, 2500)),
+        Predicate::Numeric("user_friends", fri_lo, fri_lo + rng.Uniform(200, 900)),
+    };
+    s.queries.push_back(std::move(q));
+  }
+  for (const Query& q : s.queries) s.evaluation.push_back(&q);
+  s.attrs = {"created_at", "coordinates", "user_followers", "user_friends"};
+  return s;
+}
+
+ServiceConfig CacheServiceConfig(bool cache) {
+  ServiceConfig config;
+  config.default_strategy = "naive";  // sampling QTE, estimates every option
+  config.num_threads = 1;             // isolate per-request cost
+  if (cache) config.WithResultCache(true);
+  return config;
+}
+
+/// Decision-byte comparison (the hit contract: everything but the wall
+/// clock and the how-served flags). Returns false and prints on mismatch.
+bool SameDecision(const RewriteResponse& a, const RewriteResponse& b,
+                  size_t index) {
+  bool same = a.strategy == b.strategy && a.rewritten_sql == b.rewritten_sql &&
+              a.exact_fallback == b.exact_fallback &&
+              a.outcome.option_index == b.outcome.option_index &&
+              a.outcome.planning_ms == b.outcome.planning_ms &&
+              a.outcome.exec_ms == b.outcome.exec_ms &&
+              a.outcome.total_ms == b.outcome.total_ms &&
+              a.outcome.viable == b.outcome.viable &&
+              a.outcome.steps == b.outcome.steps &&
+              a.outcome.quality == b.outcome.quality &&
+              a.stats.selectivities_collected == b.stats.selectivities_collected;
+  if (!same) std::printf("BYTE MISMATCH at query %zu\n", index);
+  return same;
+}
+
+int Run(const CacheBenchOptions& opts) {
+  const size_t kRows = opts.smoke ? 60000 : 400000;
+  const size_t kDistinct = opts.smoke ? 12 : 24;
+  const size_t kRepeats = opts.smoke ? 10 : 40;
+  const uint64_t kSeed = 43;
+  const double kMinSpeedup = 3.0;
+  const size_t kBurstThreads = 8;
+  const size_t kBatchCopies = 64;
+
+  std::printf("building twin scenarios (%zu rows, %zu distinct queries x %zu repeats)...\n",
+              kRows, kDistinct, kRepeats);
+
+  // ------------------------------------------------------------- phase 1 ---
+  PrintBanner("Phase 1 — hot stream: cache off vs on");
+  double off_qps = 0.0;
+  double on_qps = 0.0;
+  uint64_t on_hits = 0;
+  uint64_t on_misses = 0;
+  size_t equality_compared = 0;
+  size_t equality_mismatches = 0;
+  const size_t hot_serves = kDistinct * kRepeats;
+  {
+    Scenario off_scenario = BuildRepetitiveScenario(kRows, kDistinct, kSeed);
+    MalivaService off(&off_scenario, CacheServiceConfig(false));
+    if (!off.Warmup({"naive"}).ok()) return 1;
+    // Warm pass: absorb one-time lazy costs so both timed loops measure
+    // steady-state repeats.
+    for (const Query* q : off_scenario.evaluation) {
+      RewriteRequest req;
+      req.query = q;
+      if (!off.Serve(req).ok()) return 1;
+    }
+    Stopwatch watch;
+    for (size_t r = 0; r < kRepeats; ++r) {
+      for (const Query* q : off_scenario.evaluation) {
+        RewriteRequest req;
+        req.query = q;
+        Result<RewriteResponse> resp = off.Serve(req);
+        if (!resp.ok()) {
+          std::printf("off serve failed: %s\n", resp.status().ToString().c_str());
+          return 1;
+        }
+      }
+    }
+    double seconds = watch.Seconds();
+    off_qps = static_cast<double>(hot_serves) / seconds;
+    std::printf("off: %zu hot serves in %.3fs = %.0f QPS (every repeat re-searches)\n",
+                hot_serves, seconds, off_qps);
+  }
+  {
+    Scenario on_scenario = BuildRepetitiveScenario(kRows, kDistinct, kSeed);
+    MalivaService on(&on_scenario, CacheServiceConfig(true));
+    if (!on.Warmup({"naive"}).ok()) return 1;
+    // Warm pass doubles as the byte-equality reference: these are the
+    // misses whose bytes every later hit must replay.
+    std::vector<RewriteResponse> miss_responses;
+    for (const Query* q : on_scenario.evaluation) {
+      RewriteRequest req;
+      req.query = q;
+      Result<RewriteResponse> resp = on.Serve(req);
+      if (!resp.ok()) return 1;
+      miss_responses.push_back(std::move(resp.value()));
+    }
+    Stopwatch watch;
+    for (size_t r = 0; r < kRepeats; ++r) {
+      for (const Query* q : on_scenario.evaluation) {
+        RewriteRequest req;
+        req.query = q;
+        Result<RewriteResponse> resp = on.Serve(req);
+        if (!resp.ok()) {
+          std::printf("on serve failed: %s\n", resp.status().ToString().c_str());
+          return 1;
+        }
+      }
+    }
+    double seconds = watch.Seconds();
+    on_qps = static_cast<double>(hot_serves) / seconds;
+    ServiceStats stats = on.Stats();
+    on_hits = stats.result_cache_hits;
+    on_misses = stats.result_cache_misses;
+    std::printf("on:  %zu hot serves in %.3fs = %.0f QPS (hits %llu, misses %llu)\n",
+                hot_serves, seconds, on_qps,
+                static_cast<unsigned long long>(on_hits),
+                static_cast<unsigned long long>(on_misses));
+
+    // --------------------------------------------------------- phase 2 ---
+    PrintBanner("Phase 2 — hit/miss byte-equality");
+    for (size_t i = 0; i < on_scenario.evaluation.size(); ++i) {
+      RewriteRequest req;
+      req.query = on_scenario.evaluation[i];
+      Result<RewriteResponse> hit = on.Serve(req);
+      if (!hit.ok()) return 1;
+      ++equality_compared;
+      if (!hit.value().stats.result_cache_hit ||
+          !SameDecision(miss_responses[i], hit.value(), i)) {
+        ++equality_mismatches;
+      }
+    }
+    std::printf("%zu hits compared against their misses, %zu mismatches\n",
+                equality_compared, equality_mismatches);
+  }
+  double speedup = off_qps > 0.0 ? on_qps / off_qps : 0.0;
+  std::printf("hot-stream speedup: %.2fx (floor %.1fx)\n", speedup, kMinSpeedup);
+
+  // ------------------------------------------------------------- phase 3 ---
+  PrintBanner("Phase 3 — coalescing burst on a cold key");
+  uint64_t burst_searches = 0;
+  uint64_t burst_coalesced = 0;
+  uint64_t batch_searches = 0;
+  uint64_t batch_coalesced = 0;
+  {
+    Scenario scenario = BuildRepetitiveScenario(kRows, kDistinct, kSeed);
+
+    // (a) Simultaneous identical requests from 8 threads, key cold: the
+    // single-flight protocol elects one leader; everyone else follows (or
+    // hits, if it arrives after the leader published).
+    {
+      MalivaService service(&scenario, CacheServiceConfig(true));
+      if (!service.Warmup({"naive"}).ok()) return 1;
+      std::vector<std::thread> threads;
+      std::vector<int> failures(kBurstThreads, 0);
+      for (size_t t = 0; t < kBurstThreads; ++t) {
+        threads.emplace_back([&scenario, &service, &failures, t] {
+          RewriteRequest req;
+          req.query = scenario.evaluation[0];
+          if (!service.Serve(req).ok()) failures[t] = 1;
+        });
+      }
+      for (std::thread& thread : threads) thread.join();
+      for (int f : failures) {
+        if (f != 0) return 1;
+      }
+      ServiceStats stats = service.Stats();
+      burst_searches = stats.result_cache_misses;
+      burst_coalesced = stats.result_cache_coalesced;
+      std::printf("thread burst: %zu threads -> %llu searches, %llu coalesced, "
+                  "%llu hits\n",
+                  kBurstThreads, static_cast<unsigned long long>(burst_searches),
+                  static_cast<unsigned long long>(burst_coalesced),
+                  static_cast<unsigned long long>(stats.result_cache_hits));
+    }
+
+    // (b) One batch of 64 copies of a cold request through a fresh service:
+    // the in-batch dedup pre-pass is deterministic — exactly one search,
+    // 63 replays.
+    {
+      MalivaService service(&scenario, CacheServiceConfig(true).WithNumThreads(8));
+      if (!service.Warmup({"naive"}).ok()) return 1;
+      std::vector<RewriteRequest> copies(kBatchCopies);
+      for (RewriteRequest& req : copies) req.query = scenario.evaluation[1];
+      std::vector<Result<RewriteResponse>> responses = service.ServeBatch(copies);
+      for (const Result<RewriteResponse>& resp : responses) {
+        if (!resp.ok()) return 1;
+      }
+      ServiceStats stats = service.Stats();
+      batch_searches = stats.result_cache_misses;
+      batch_coalesced = stats.result_cache_coalesced;
+      std::printf("batch dedup: %zu copies -> %llu searches, %llu replays\n",
+                  kBatchCopies, static_cast<unsigned long long>(batch_searches),
+                  static_cast<unsigned long long>(batch_coalesced));
+    }
+  }
+
+  // ---------------------------------------------------------------- JSON ---
+  std::FILE* f = std::fopen(opts.out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("cannot open %s for writing\n", opts.out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_rewrite_cache\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", opts.smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"rows\": %zu,\n", kRows);
+  std::fprintf(f, "  \"distinct_queries\": %zu,\n", kDistinct);
+  std::fprintf(f, "  \"repeats\": %zu,\n", kRepeats);
+  std::fprintf(f, "  \"hot\": {\"off_qps\": %.1f, \"on_qps\": %.1f, \"speedup\": %.3f,\n",
+               off_qps, on_qps, speedup);
+  std::fprintf(f, "    \"hits\": %llu, \"misses\": %llu},\n",
+               static_cast<unsigned long long>(on_hits),
+               static_cast<unsigned long long>(on_misses));
+  std::fprintf(f, "  \"equality\": {\"compared\": %zu, \"mismatches\": %zu},\n",
+               equality_compared, equality_mismatches);
+  std::fprintf(f, "  \"burst\": {\"threads\": %zu, \"searches\": %llu, "
+               "\"coalesced\": %llu},\n",
+               kBurstThreads, static_cast<unsigned long long>(burst_searches),
+               static_cast<unsigned long long>(burst_coalesced));
+  std::fprintf(f, "  \"batch\": {\"copies\": %zu, \"searches\": %llu, "
+               "\"replays\": %llu}\n",
+               kBatchCopies, static_cast<unsigned long long>(batch_searches),
+               static_cast<unsigned long long>(batch_coalesced));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", opts.out_path.c_str());
+
+  // ---------------------------------------------------------- acceptance ---
+  bool ok = true;
+  if (speedup < kMinSpeedup) {
+    std::printf("CHECK FAILED: hot-stream speedup %.2fx below %.1fx\n", speedup,
+                kMinSpeedup);
+    ok = false;
+  }
+  if (on_misses != kDistinct || on_hits < kDistinct * kRepeats) {
+    std::printf("CHECK FAILED: on run expected %zu misses / >= %zu hits, "
+                "got %llu / %llu\n",
+                kDistinct, kDistinct * kRepeats,
+                static_cast<unsigned long long>(on_misses),
+                static_cast<unsigned long long>(on_hits));
+    ok = false;
+  }
+  if (equality_compared == 0 || equality_mismatches != 0) {
+    std::printf("CHECK FAILED: %zu hit/miss byte mismatches (%zu compared)\n",
+                equality_mismatches, equality_compared);
+    ok = false;
+  }
+  if (burst_searches >= kBurstThreads) {
+    std::printf("CHECK FAILED: burst ran %llu searches for %zu threads "
+                "(no coalescing)\n",
+                static_cast<unsigned long long>(burst_searches), kBurstThreads);
+    ok = false;
+  }
+  if (batch_searches != 1 || batch_coalesced != kBatchCopies - 1) {
+    std::printf("CHECK FAILED: batch dedup expected 1 search / %zu replays, "
+                "got %llu / %llu\n",
+                kBatchCopies - 1, static_cast<unsigned long long>(batch_searches),
+                static_cast<unsigned long long>(batch_coalesced));
+    ok = false;
+  }
+  std::printf("%s\n", ok ? "all rewrite-cache checks passed"
+                         : "REWRITE CACHE CHECKS FAILED");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace maliva
+
+int main(int argc, char** argv) {
+  maliva::bench::CacheBenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      opts.smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      opts.out_path = argv[++i];
+    } else {
+      std::printf("usage: %s [--smoke] [--out <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  return maliva::bench::Run(opts);
+}

@@ -115,13 +115,37 @@ else
   echo "python3 unavailable; skipping JSON validation"
 fi
 
+# Rewrite-cache smoke: a seconds-scale bench_rewrite_cache run must pass its
+# own acceptance checks (>=3x hot-stream speedup with the cache on, zero
+# hit/miss byte mismatches, single-flight + in-batch dedup coalescing) and
+# emit JSON with the expected schema.
+echo "== rewrite-cache smoke: bench_rewrite_cache --smoke =="
+./build/bench_rewrite_cache --smoke --out build/BENCH_rewrite_cache.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF' || { echo "BENCH_rewrite_cache.json schema check failed" >&2; exit 1; }
+import json
+d = json.load(open('build/BENCH_rewrite_cache.json'))
+assert d['bench'] == 'bench_rewrite_cache'
+for key in ('off_qps', 'on_qps', 'speedup', 'hits', 'misses'):
+    assert key in d['hot'], key
+assert d['hot']['speedup'] >= 3.0
+assert d['equality']['compared'] > 0 and d['equality']['mismatches'] == 0
+assert d['burst']['searches'] < d['burst']['threads']
+assert d['batch']['searches'] == 1
+assert d['batch']['replays'] == d['batch']['copies'] - 1
+EOF
+  echo "BENCH_rewrite_cache.json schema OK"
+else
+  echo "python3 unavailable; skipping JSON validation"
+fi
+
 # Both sanitizer legs run the service + concurrency + fleet + admission
 # suites (which include the SharedSelectivityStore stress test, the shard
 # plane's register/serve/drain stress test, and the overload plane's
 # serve-under-overload stress test) plus the selectivity-ladder suites —
 # training-heavy suites are slow under sanitizers and exercise no additional
 # threading or ownership.
-sanitizer_suites='Service|Concurrency|Fleet|Admission|Histogram|SelectivityTier'
+sanitizer_suites='Service|Concurrency|Fleet|Admission|Histogram|SelectivityTier|ResultCache'
 
 if [[ "$run_tsan" == 1 ]]; then
   # TSan pass over the concurrent serving core: parallel ServeBatch, lazy

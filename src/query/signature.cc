@@ -171,4 +171,40 @@ CanonicalQuery Canonicalize(const Query& query, const SignatureOptions& opts) {
   return out;
 }
 
+RequestFingerprint MakeRequestFingerprint(const QuerySignature& signature,
+                                          const std::string& strategy,
+                                          double tau_ms,
+                                          std::optional<double> quality_floor,
+                                          const FingerprintOptions& opts) {
+  const double tau_bin_ms =
+      (std::isfinite(opts.tau_bin_ms) && opts.tau_bin_ms > 0.0) ? opts.tau_bin_ms
+                                                                : 25.0;
+  const int floor_bins = std::max(1, opts.quality_floor_bins);
+
+  uint64_t h = 0x72657170ULL;  // "reqp"
+  h = Mix(h, signature.value);
+  h = MixString(h, strategy);
+  // Fixed-width tau bins: unlike literal binning (which scales with each
+  // literal's own extent), budgets of one service live on one scale, so an
+  // absolute grid keeps neighbouring taus shared and bin edges exact.
+  // Non-finite taus are rejected upstream by request validation; hash the
+  // bit pattern defensively so a stray NaN still gets a deterministic key.
+  if (std::isfinite(tau_ms)) {
+    h = Mix(h, std::bit_cast<uint64_t>(std::floor(tau_ms / tau_bin_ms)));
+  } else {
+    h = Mix(h, 0x6e616e7461ULL ^ std::bit_cast<uint64_t>(tau_ms));
+  }
+  if (quality_floor.has_value() && std::isfinite(*quality_floor)) {
+    // Floors live in [0, 1]: uniform bins, with 1.0 clamped into the top
+    // bin's closed end (floor(1.0 * bins) == bins is its own bucket, which
+    // is fine — it is still deterministic and boundary-stable).
+    h = Mix(h, 0x666c72);  // "flr"
+    h = Mix(h, static_cast<uint64_t>(static_cast<int64_t>(
+                   std::floor(*quality_floor * floor_bins))));
+  } else {
+    h = Mix(h, 0x6e6f666c72ULL);  // "noflr": absent floor is its own key
+  }
+  return RequestFingerprint{h};
+}
+
 }  // namespace maliva

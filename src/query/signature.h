@@ -33,6 +33,7 @@
 #define MALIVA_QUERY_SIGNATURE_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,51 @@ uint64_t PredicateSlotKey(const std::string& table, const Predicate& pred,
 /// from the *sorted* key multiset (plus table and join shape), so predicate
 /// permutations, query ids, and output fields do not change it.
 CanonicalQuery Canonicalize(const Query& query, const SignatureOptions& opts = {});
+
+/// Binning knobs for the request context a QuerySignature deliberately
+/// strips: the effective time budget and the quality floor. The rewrite
+/// *decision* (unlike a predicate's selectivity) depends on both, so any
+/// cache over decisions must key on them — but keying on the raw doubles
+/// would make every slightly-jittered tau its own cache line. Fixed-width
+/// bins trade sub-bin decision fidelity for sharing, exactly like
+/// SignatureOptions::literal_bins trades estimation fidelity.
+struct FingerprintOptions {
+  /// Width of one effective-tau bin (virtual ms): taus in the same
+  /// [k*width, (k+1)*width) interval share a fingerprint. Must be finite
+  /// and > 0.
+  double tau_bin_ms = 25.0;
+  /// Bins across the [0, 1] quality-floor range: floors in the same
+  /// [k/bins, (k+1)/bins) interval share a fingerprint (floor == 1.0 gets
+  /// its own top bin); an absent floor is always its own key, distinct from
+  /// every bound floor. Must be >= 1.
+  int quality_floor_bins = 100;
+};
+
+/// Stable 64-bit identity of one *rewrite decision context*: the query's
+/// canonical signature plus everything else the decision is a function of —
+/// strategy name, binned effective tau, binned quality floor. This is the
+/// request-level key of the rewrite-result cache
+/// (service/rewrite_result_cache.h); the cache layers the volatile epoch
+/// components (agent snapshot version, engine catalog version) on top, so
+/// the fingerprint itself stays valid across retrains and stats refreshes.
+struct RequestFingerprint {
+  uint64_t value = 0;
+
+  bool operator==(const RequestFingerprint& o) const { return value == o.value; }
+  bool operator!=(const RequestFingerprint& o) const { return value != o.value; }
+};
+
+/// Builds the fingerprint for one (query signature, strategy, effective tau,
+/// quality floor) context. `tau_ms` is the budget the request is actually
+/// served under (the request override or the strategy default — resolve
+/// before calling); `quality_floor` is the request's floor or nullopt.
+/// Deterministic, and stable within a bin: two requests whose taus (and
+/// floors) fall in the same bins share the fingerprint at any call site.
+RequestFingerprint MakeRequestFingerprint(const QuerySignature& signature,
+                                          const std::string& strategy,
+                                          double tau_ms,
+                                          std::optional<double> quality_floor,
+                                          const FingerprintOptions& opts = {});
 
 }  // namespace maliva
 

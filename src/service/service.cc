@@ -54,6 +54,36 @@ Status ServiceConfig::Validate() const {
           "cross_request_cache requires signature_literal_bins >= 1");
     }
   }
+  if (result_cache) {
+    if (result_cache_capacity == 0) {
+      return Status::InvalidArgument(
+          "result_cache requires result_cache_capacity > 0");
+    }
+    if (result_cache_shards == 0) {
+      return Status::InvalidArgument(
+          "result_cache requires result_cache_shards > 0");
+    }
+    if (result_cache_shards > result_cache_capacity) {
+      return Status::InvalidArgument(
+          "result_cache_shards (" + std::to_string(result_cache_shards) +
+          ") must not exceed result_cache_capacity (" +
+          std::to_string(result_cache_capacity) + ")");
+    }
+    if (!(result_cache_tau_bin_ms > 0.0) ||
+        !std::isfinite(result_cache_tau_bin_ms)) {
+      return Status::InvalidArgument(
+          "result_cache_tau_bin_ms must be finite and positive");
+    }
+    if (result_cache_floor_bins < 1) {
+      return Status::InvalidArgument(
+          "result_cache requires result_cache_floor_bins >= 1");
+    }
+    if (signature_literal_bins < 1) {
+      return Status::InvalidArgument(
+          "result_cache requires signature_literal_bins >= 1 (cache keys "
+          "start from the canonical query signature)");
+    }
+  }
   if (histogram_selectivity) {
     if (histogram_buckets == 0) {
       return Status::InvalidArgument(
@@ -167,6 +197,14 @@ MalivaService::MalivaService(Scenario* scenario, ServiceConfig config)
     store_config.capacity = config_.shared_store_capacity;
     store_config.shards = config_.shared_store_shards;
     state_.shared_store = std::make_unique<SharedSelectivityStore>(store_config);
+  }
+  fingerprint_options_.tau_bin_ms = config_.result_cache_tau_bin_ms;
+  fingerprint_options_.quality_floor_bins = config_.result_cache_floor_bins;
+  if (config_status_.ok() && config_.result_cache) {
+    RewriteResultCache::Config cache_config;
+    cache_config.capacity = config_.result_cache_capacity;
+    cache_config.shards = config_.result_cache_shards;
+    state_.result_cache = std::make_unique<RewriteResultCache>(cache_config);
   }
   if (config_status_.ok() && config_.histogram_selectivity) {
     // Rebuild the engine's histograms at the configured resolution first:
@@ -375,6 +413,12 @@ Result<const Rewriter*> MalivaService::GetRewriter(const std::string& name) cons
   return ptr;
 }
 
+const Rewriter* MalivaService::FindBuiltRewriter(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  auto it = state_.rewriters.find(name);
+  return it != state_.rewriters.end() ? it->second.get() : nullptr;
+}
+
 Status MalivaService::Warmup(std::span<const std::string> strategies) {
   for (const std::string& name : strategies) {
     Result<const Rewriter*> built = GetRewriter(name);
@@ -404,6 +448,42 @@ std::vector<std::string> MalivaService::RegisteredStrategies() const {
 
 namespace {
 
+/// Builds the response a cached decision replays: the entry's bytes —
+/// strategy, outcome, option, fallback flag, stats template — plus a fresh
+/// SQL rendering against the hitting request's own query (requests within
+/// one fingerprint bin keep their own literals) and the hit/coalesced
+/// stamps. serve_wall_ms is stamped by ServeIndexed like any response.
+RewriteResponse ReplayCached(const CachedRewrite& cached, const Query& query,
+                             bool coalesced) {
+  RewriteResponse resp;
+  resp.strategy = cached.strategy;
+  resp.outcome = cached.outcome;
+  resp.option = cached.option;
+  resp.exact_fallback = cached.exact_fallback;
+  resp.stats = cached.stats;
+  resp.stats.result_cache_hit = true;
+  resp.stats.result_cache_coalesced = coalesced;
+  resp.rewritten_sql = cached.option != nullptr
+                           ? RewrittenQuery{&query, *cached.option}.ToString()
+                           : query.ToString();
+  return resp;
+}
+
+/// Aborts a leader's in-flight slot on error-path returns between Begin and
+/// Publish, so followers wake up and compute solo instead of blocking on a
+/// leader that will never publish.
+struct FlightAbortGuard {
+  RewriteResultCache* cache = nullptr;
+  const RewriteResultCache::Ticket* ticket = nullptr;
+  uint64_t key = 0;
+  bool armed = false;
+
+  void Disarm() { armed = false; }
+  ~FlightAbortGuard() {
+    if (armed) cache->Abort(*ticket, key);
+  }
+};
+
 /// Request validation: reject malformed inputs before touching any strategy.
 Status ValidateRequest(const RewriteRequest& request) {
   if (request.query == nullptr) {
@@ -427,6 +507,49 @@ Result<RewriteResponse> MalivaService::Serve(const RewriteRequest& request) cons
   return ServeIndexed(request, 0);
 }
 
+std::optional<RewriteResponse> MalivaService::TryServeCached(
+    const RewriteRequest& request) const {
+  RewriteResultCache* rcache = state_.result_cache.get();
+  if (rcache == nullptr || !config_status_.ok()) return std::nullopt;
+  if (!ValidateRequest(request).ok()) return std::nullopt;
+
+  auto wall_start = std::chrono::steady_clock::now();
+  const std::string& name =
+      request.strategy.empty() ? config_.default_strategy : request.strategy;
+  // Probe-only discipline: resolving the default tau needs the strategy, but
+  // building one here would drag the admission plane through training. A
+  // cold strategy is simply a miss — the serve path builds it as usual.
+  const Rewriter* strategy = FindBuiltRewriter(name);
+  if (strategy == nullptr) return std::nullopt;
+  double tau = request.tau_ms.value_or(strategy->default_tau_ms());
+
+  CanonicalQuery canonical = Canonicalize(*request.query, signature_options_);
+  uint64_t epoch = scenario_->engine->catalog_version();
+  ContinualTrainer* online = state_.continual_trainer.get();
+  const char* agent_key = online != nullptr ? OnlineAgentKeyFor(name) : nullptr;
+  uint64_t snapshot_version = 0;
+  if (agent_key != nullptr) {
+    PublishedModel model = online->Current(agent_key);
+    if (model) snapshot_version = model.snapshot->meta().version;
+  }
+  uint64_t fingerprint = MakeRequestFingerprint(canonical.signature, name, tau,
+                                                request.quality_floor,
+                                                fingerprint_options_)
+                             .value;
+  std::optional<CachedRewrite> cached =
+      rcache->Probe(fingerprint, epoch, snapshot_version);
+  if (!cached.has_value()) return std::nullopt;
+
+  RewriteResponse resp =
+      ReplayCached(*cached, *request.query, /*coalesced=*/false);
+  double wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+  resp.stats.serve_wall_ms = wall_ms;
+  telemetry_.RecordServedCached(resp.exact_fallback, wall_ms);
+  return resp;
+}
+
 Result<RewriteResponse> MalivaService::ServeIndexed(const RewriteRequest& request,
                                                     uint64_t request_index) const {
   // Telemetry wrapper: time the request on the host wall clock (the one
@@ -440,11 +563,18 @@ Result<RewriteResponse> MalivaService::ServeIndexed(const RewriteRequest& reques
   if (result.ok()) {
     RewriteResponse& resp = result.value();
     resp.stats.serve_wall_ms = wall_ms;
-    telemetry_.RecordServed(resp.stats.selectivities_collected,
-                            resp.stats.shared_hits, resp.stats.shared_published,
-                            resp.stats.selectivity_tier_hits[1],
-                            resp.stats.selectivity_tier_hits[2],
-                            resp.exact_fallback, wall_ms);
+    if (resp.stats.result_cache_hit) {
+      // A replayed decision: its selectivity counters are the template of
+      // the miss that computed it, already folded in when that miss served.
+      // Count the request without re-billing work nobody did.
+      telemetry_.RecordServedCached(resp.exact_fallback, wall_ms);
+    } else {
+      telemetry_.RecordServed(resp.stats.selectivities_collected,
+                              resp.stats.shared_hits, resp.stats.shared_published,
+                              resp.stats.selectivity_tier_hits[1],
+                              resp.stats.selectivity_tier_hits[2],
+                              resp.exact_fallback, wall_ms);
+    }
   } else {
     telemetry_.RecordError(wall_ms);
   }
@@ -470,13 +600,17 @@ Result<RewriteResponse> MalivaService::ServeImpl(const RewriteRequest& request,
   // Knowledge plane: canonicalize the query and bind the shared store so the
   // session's episode caches start pre-seeded with the selectivities earlier
   // requests collected. The epoch pins the store's entries to the current
-  // statistics ground truth (catalog changes read as a cold store).
+  // statistics ground truth (catalog changes read as a cold store). The
+  // canonical form is computed once and shared with the result cache below.
   SharedSelectivityStore* store = state_.shared_store.get();
+  RewriteResultCache* rcache = state_.result_cache.get();
   CanonicalQuery canonical;
   uint64_t epoch = 0;
-  if (store != nullptr) {
+  if (store != nullptr || rcache != nullptr) {
     canonical = Canonicalize(*request.query, signature_options_);
     epoch = scenario_->engine->catalog_version();
+  }
+  if (store != nullptr) {
     session.BindSharedStore(store, &canonical.slot_keys, epoch);
   }
 
@@ -484,16 +618,45 @@ Result<RewriteResponse> MalivaService::ServeImpl(const RewriteRequest& request,
   // instead of its frozen construction-time weights, and capture the
   // episode's transitions for the feedback path. The shared_ptr keeps the
   // snapshot alive for the whole call even if a retrain publishes (or an
-  // operator rolls back) mid-request.
+  // operator rolls back) mid-request. The snapshot is fetched *before* the
+  // cache probe: its version is a key-context component, so a hit is only
+  // ever served against the exact weights that would serve the miss.
   ContinualTrainer* online = state_.continual_trainer.get();
   const char* agent_key = online != nullptr ? OnlineAgentKeyFor(name) : nullptr;
   PublishedModel model;
-  if (agent_key != nullptr) {
-    model = online->Current(agent_key);
-    if (model) {
-      session.BindAgentOverride(model.agent.get());
-      session.set_capture_transitions(true);
+  if (agent_key != nullptr) model = online->Current(agent_key);
+  const uint64_t snapshot_version = model ? model.snapshot->meta().version : 0;
+
+  // Decision tier: replay a resident decision, follow an in-flight leader's
+  // search, or lead (publish on the way out). Hits skip QTE, agent, and the
+  // whole episode; they also record no online feedback — the decision's
+  // transitions were observed once, when the miss computed them.
+  uint64_t fingerprint = 0;
+  RewriteResultCache::Ticket ticket;
+  FlightAbortGuard abort_guard;
+  if (rcache != nullptr) {
+    fingerprint = MakeRequestFingerprint(canonical.signature, name, tau,
+                                         request.quality_floor,
+                                         fingerprint_options_)
+                      .value;
+    ticket = rcache->Begin(fingerprint, epoch, snapshot_version);
+    if (ticket.role == RewriteResultCache::Role::kHit) {
+      return ReplayCached(*ticket.value, *request.query, /*coalesced=*/false);
     }
+    if (ticket.role == RewriteResultCache::Role::kFollower) {
+      std::optional<CachedRewrite> led = rcache->WaitForLeader(ticket);
+      if (led.has_value()) {
+        return ReplayCached(*led, *request.query, /*coalesced=*/true);
+      }
+      ticket = RewriteResultCache::Ticket{};  // leader aborted: compute solo
+    }
+    abort_guard = FlightAbortGuard{rcache, &ticket, fingerprint,
+                                   ticket.role == RewriteResultCache::Role::kLeader};
+  }
+
+  if (model) {
+    session.BindAgentOverride(model.agent.get());
+    session.set_capture_transitions(true);
   }
 
   RewriteResponse resp;
@@ -571,6 +734,22 @@ Result<RewriteResponse> MalivaService::ServeImpl(const RewriteRequest& request,
       resp.option != nullptr
           ? RewrittenQuery{request.query, *resp.option}.ToString()
           : request.query->ToString();
+
+  // Decision tier, publish side: the completed search becomes this context's
+  // cached entry (leader resolution wakes any coalesced followers with it).
+  // The stats captured here are the entry's replay template — hit flags and
+  // the wall clock are per-request and still zero at this point.
+  if (rcache != nullptr) {
+    abort_guard.Disarm();
+    CachedRewrite cached;
+    cached.strategy = resp.strategy;
+    cached.outcome = resp.outcome;
+    cached.option = resp.option;
+    cached.exact_fallback = resp.exact_fallback;
+    cached.stats = resp.stats;
+    rcache->Publish(ticket, fingerprint, epoch, snapshot_version,
+                    std::move(cached));
+  }
   return resp;
 }
 
@@ -590,6 +769,17 @@ ServiceStats MalivaService::Stats() const {
     stats.histogram_mean_abs_rel_error = tier.mean_abs_rel_error;
     stats.histogram_error_samples = tier.error_samples;
     stats.histogram_demoted_columns = tier.demoted_columns;
+  }
+  // result_cache_* fields stay identically zero while the cache is off
+  // (the documented ServiceStats contract, mirroring the store_* fields).
+  if (state_.result_cache != nullptr) {
+    RewriteResultCache::Stats cache = state_.result_cache->Snapshot();
+    stats.result_cache_hits = cache.hits;
+    stats.result_cache_misses = cache.misses;
+    stats.result_cache_coalesced = cache.coalesced;
+    stats.result_cache_evictions = cache.evictions;
+    stats.result_cache_stale_declines = cache.stale_declines;
+    stats.result_cache_size = cache.size;
   }
   // online_* fields stay identically zero while the plane is off (the
   // documented ServiceStats contract, mirroring the store_* fields).
@@ -643,18 +833,78 @@ std::vector<Result<RewriteResponse>> MalivaService::ServeBatch(
     (void)GetRewriter(name);  // failure handled per request
   }
 
+  // In-batch dedup (result cache on only): members sharing one decision
+  // context are grouped behind their first occurrence, so N copies of a
+  // query cost one search plus N-1 replays — without even enqueueing N
+  // blocked pool tasks for the single-flight protocol to coalesce. The
+  // pre-pass runs after the build phase, so default taus resolve without
+  // triggering training; anything unresolvable (invalid request, cold
+  // strategy) stays unique and serves normally.
+  RewriteResultCache* rcache = state_.result_cache.get();
+  constexpr size_t kUnique = static_cast<size_t>(-1);
+  std::vector<size_t> replay_of(requests.size(), kUnique);
+  if (rcache != nullptr) {
+    std::unordered_map<uint64_t, size_t> first_by_key;
+    first_by_key.reserve(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const RewriteRequest& req = requests[i];
+      if (!ValidateRequest(req).ok()) continue;
+      const std::string& name =
+          req.strategy.empty() ? config_.default_strategy : req.strategy;
+      const Rewriter* strategy = FindBuiltRewriter(name);
+      if (strategy == nullptr) continue;
+      double tau = req.tau_ms.value_or(strategy->default_tau_ms());
+      CanonicalQuery canonical = Canonicalize(*req.query, signature_options_);
+      uint64_t fp = MakeRequestFingerprint(canonical.signature, name, tau,
+                                           req.quality_floor,
+                                           fingerprint_options_)
+                        .value;
+      auto [it, inserted] = first_by_key.emplace(fp, i);
+      if (!inserted) replay_of[i] = it->second;
+    }
+  }
+
   // Serve phase: fan out over the pool (or run inline when sequential).
   // Responses land in their request's slot, so ordering is preserved no
-  // matter how threads interleave.
+  // matter how threads interleave. Dedup followers are skipped here and
+  // replayed from their leader's slot afterwards.
   std::vector<std::optional<Result<RewriteResponse>>> slots(requests.size());
+  auto serve_one = [this, &slots, &requests, &replay_of](size_t i) {
+    if (replay_of[i] != kUnique) return;
+    slots[i] = ServeIndexed(requests[i], i);
+  };
   if (std::min(ResolvedNumThreads(), requests.size()) <= 1) {
-    for (size_t i = 0; i < requests.size(); ++i) {
-      slots[i] = ServeIndexed(requests[i], i);
-    }
+    for (size_t i = 0; i < requests.size(); ++i) serve_one(i);
   } else {
-    Pool().ParallelFor(requests.size(), [this, &slots, &requests](size_t i) {
-      slots[i] = ServeIndexed(requests[i], i);
-    });
+    Pool().ParallelFor(requests.size(), serve_one);
+  }
+
+  // Replay phase: each follower copies its leader's decision bytes, renders
+  // SQL against its own query, and stamps hit+coalesced — exactly what a
+  // cache hit on the published entry would produce, minus the map probe.
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (replay_of[i] == kUnique) continue;
+    auto wall_start = std::chrono::steady_clock::now();
+    const Result<RewriteResponse>& led = *slots[replay_of[i]];
+    if (!led.ok()) {
+      // The leader's error is this context's answer (identical requests fail
+      // identically); replaying it keeps per-slot outcomes consistent.
+      telemetry_.RecordError(0.0);
+      slots[i] = led.status();
+      continue;
+    }
+    RewriteResponse resp = ReplayCached(
+        CachedRewrite{led.value().strategy, led.value().outcome,
+                      led.value().option, led.value().exact_fallback,
+                      led.value().stats},
+        *requests[i].query, /*coalesced=*/true);
+    double wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - wall_start)
+                         .count();
+    resp.stats.serve_wall_ms = wall_ms;
+    telemetry_.RecordServedCached(resp.exact_fallback, wall_ms);
+    rcache->NoteCoalesced(1);
+    slots[i] = std::move(resp);
   }
 
   std::vector<Result<RewriteResponse>> responses;

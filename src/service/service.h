@@ -132,6 +132,31 @@ struct ServiceConfig {
   /// Must be > 0 when the tier is on.
   size_t histogram_error_window = 32;
 
+  /// Rewrite-result cache (DESIGN.md "Rewrite-result cache"). Off (default):
+  /// every request runs its strategy's full search and ServeBatch stays
+  /// byte-identical at every thread count. On: a request whose decision
+  /// context — canonical query signature, strategy, binned tau, binned
+  /// quality floor, agent snapshot version, catalog epoch — was already
+  /// solved replays the cached decision in O(1) (skipping QTE and agent
+  /// entirely, stamped stats.result_cache_hit), concurrent identical misses
+  /// coalesce behind one leader's search, and ServeBatch dedups identical
+  /// contexts within a batch. Hit responses are byte-identical to the miss
+  /// they were cached from; requests whose tau/floor differ only within a
+  /// bin share a decision (the documented fidelity trade, like
+  /// signature_literal_bins).
+  bool result_cache = false;
+  /// Cached decisions retained (CLOCK/second-chance eviction, per shard).
+  /// Must be > 0 when the cache is on.
+  size_t result_cache_capacity = 4096;
+  /// Result-cache lock shards. Must be > 0 and <= capacity when on.
+  size_t result_cache_shards = 8;
+  /// Width of one effective-tau key bin, virtual ms
+  /// (FingerprintOptions::tau_bin_ms). Must be finite and > 0 when on.
+  double result_cache_tau_bin_ms = 25.0;
+  /// Quality-floor key bins across [0, 1]
+  /// (FingerprintOptions::quality_floor_bins). Must be >= 1 when on.
+  int result_cache_floor_bins = 100;
+
   /// Online learning plane (DESIGN.md "Online learning plane"). Off
   /// (default): agents stay frozen after warm-up and ServeBatch results are
   /// byte-identical to pre-online behavior at every thread count. On:
@@ -265,6 +290,26 @@ struct ServiceConfig {
     histogram_error_window = window;
     return *this;
   }
+  ServiceConfig& WithResultCache(bool enabled) {
+    result_cache = enabled;
+    return *this;
+  }
+  ServiceConfig& WithResultCacheCapacity(size_t capacity) {
+    result_cache_capacity = capacity;
+    return *this;
+  }
+  ServiceConfig& WithResultCacheShards(size_t shards) {
+    result_cache_shards = shards;
+    return *this;
+  }
+  ServiceConfig& WithResultCacheTauBinMs(double ms) {
+    result_cache_tau_bin_ms = ms;
+    return *this;
+  }
+  ServiceConfig& WithResultCacheFloorBins(int bins) {
+    result_cache_floor_bins = bins;
+    return *this;
+  }
   ServiceConfig& WithOnlineLearning(bool enabled) {
     online_learning = enabled;
     return *this;
@@ -321,39 +366,9 @@ struct RewriteRequest {
   std::optional<double> quality_floor;
 };
 
-/// Per-request serving telemetry carried on the response. The counters are
-/// deterministic given the shared-store snapshot the request saw;
-/// selectivities_collected is populated in every mode (it is the request's
-/// full bill when cross_request_cache is off), while the shared_* fields
-/// are identically zero with the plane off. serve_wall_ms is host
-/// wall-clock time — the one non-virtual, run-varying number — and is
-/// excluded from byte-identity guarantees.
-struct RequestStats {
-  /// Selectivity slots this request collected (and paid for) itself.
-  size_t selectivities_collected = 0;
-  /// Slots pre-seeded free from the shared store.
-  size_t shared_hits = 0;
-  /// Per-rung slot accounting of the selectivity ladder: [0] shared-store
-  /// seeds (== shared_hits), [1] histogram-tier estimates, [2] probes
-  /// (sample/true-selectivity collections, statistics fallbacks included).
-  /// [1] + [2] == selectivities_collected; [1] is identically zero while
-  /// ServiceConfig::histogram_selectivity is off.
-  size_t selectivity_tier_hits[3] = {0, 0, 0};
-  /// New entries this request contributed to the shared store.
-  size_t shared_published = 0;
-  /// Version of the agent snapshot that served this request; 0 when the
-  /// online learning plane is off or the strategy serves frozen weights.
-  uint64_t agent_snapshot_version = 0;
-  /// Overload control plane (service_fleet.h): true when the admission gate
-  /// predicted the requested strategy would miss its deadline and forced the
-  /// configured degrade strategy instead. Always false off that path.
-  bool degraded = false;
-  /// Wall ms this request waited in the fleet's deadline scheduler between
-  /// arrival and dispatch; 0 off the scheduler path.
-  double queue_wait_ms = 0.0;
-  /// Host wall-clock serving latency, milliseconds.
-  double serve_wall_ms = 0.0;
-};
+// RequestStats (the per-request telemetry carried on the response) lives in
+// serving_telemetry.h: the rewrite-result cache stores a stats template per
+// entry and must see the definition without this header.
 
 /// One rewriting response.
 struct RewriteResponse {
@@ -436,6 +451,15 @@ class MalivaService {
   /// lock) strategy `name`. The returned pointer is stable for the service's
   /// lifetime.
   Result<const Rewriter*> GetRewriter(const std::string& name) const;
+
+  /// Probe-only fast path for the admission plane: answers the request from
+  /// the rewrite-result cache when its decision context is resident, without
+  /// touching QTE, agents, or the build lock (an unbuilt strategy is simply
+  /// a miss). Returns nullopt on any miss — cache off, invalid request,
+  /// cold strategy, absent or stale entry — in which case nothing was
+  /// counted and the caller proceeds down the normal serve path. A hit is
+  /// recorded in the service telemetry exactly like a served request.
+  std::optional<RewriteResponse> TryServeCached(const RewriteRequest& request) const;
 
   /// Strategy names registered in the global factory. A given instance may
   /// still fail to build some of them (e.g. "quality/*" without approx_rules
@@ -522,6 +546,10 @@ class MalivaService {
   Result<RewriteResponse> ServeImpl(const RewriteRequest& request,
                                     uint64_t request_index) const;
 
+  /// Lock-only lookup of an already built strategy; nullptr when cold.
+  /// Never builds — the cache probe paths must stay O(1).
+  const Rewriter* FindBuiltRewriter(const std::string& name) const;
+
   /// num_threads with 0 resolved to hardware concurrency.
   size_t ResolvedNumThreads() const;
 
@@ -539,6 +567,8 @@ class MalivaService {
   uint64_t session_seed_base_;
   /// Canonicalization options derived from the config (knowledge plane).
   SignatureOptions signature_options_;
+  /// Tau/floor binning of result-cache keys, derived from the config.
+  FingerprintOptions fingerprint_options_;
 
   /// Serving counters behind Stats(); internally atomic.
   mutable ServingTelemetry telemetry_;

@@ -62,6 +62,12 @@ void AccumulateInto(ServiceStats& totals, const ServiceStats& shard) {
       totals.histogram_error_samples == 0
           ? 0.0
           : error_mass / static_cast<double>(totals.histogram_error_samples);
+  totals.result_cache_hits += shard.result_cache_hits;
+  totals.result_cache_misses += shard.result_cache_misses;
+  totals.result_cache_coalesced += shard.result_cache_coalesced;
+  totals.result_cache_evictions += shard.result_cache_evictions;
+  totals.result_cache_stale_declines += shard.result_cache_stale_declines;
+  totals.result_cache_size += shard.result_cache_size;
   totals.online_transitions += shard.online_transitions;
   totals.online_transitions_dropped += shard.online_transitions_dropped;
   totals.online_transitions_pending += shard.online_transitions_pending;
@@ -228,6 +234,19 @@ void MalivaFleet::SubmitAdmitted(
     const std::shared_ptr<Shard>& shard, const RewriteRequest& request,
     double arrival_ms, uint64_t shard_index,
     std::function<void(Result<RewriteResponse>)> done) const {
+  // Decision-tier fast path, probed *before* the gate: a cache-resident
+  // answer costs no scheduler slot and no search, so a flood of duplicate
+  // queries must never shed (or degrade) work the cache can answer — nor
+  // count toward the backlog the gate sheds on. Hits are admitted verdicts
+  // answered inline; the serve-time EWMA is left untouched (an O(1) replay
+  // would talk the degrade predictor into admitting searches it cannot
+  // afford).
+  if (std::optional<RewriteResponse> cached =
+          shard->service->TryServeCached(request)) {
+    admission_->RecordDecision(shard->id, AdmissionDecision::kAdmit);
+    done(std::move(*cached));
+    return;
+  }
   const double tau =
       request.tau_ms.value_or(shard->service->scenario()->config.tau_ms);
   const double deadline_ms = admission_->DeadlineFor(arrival_ms, tau);

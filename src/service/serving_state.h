@@ -31,6 +31,7 @@
 #include "quality/quality.h"
 #include "service/continual_trainer.h"
 #include "service/model_registry.h"
+#include "service/rewrite_result_cache.h"
 
 namespace maliva {
 
@@ -71,6 +72,14 @@ struct ServingState {
   /// like the shared store: serving threads read estimates and feed probe
   /// errors into its per-column trust windows concurrently.
   std::unique_ptr<SelectivityTier> selectivity_tier;
+
+  /// Rewrite-result cache, the decision tier above the selectivity ladder
+  /// (null while ServiceConfig::result_cache is off). Internally
+  /// synchronized like the shared store: serving threads probe, publish,
+  /// and coalesce concurrently. Entries hold RewriteOption pointers into
+  /// `interned_options` / scenario option sets, which are never removed —
+  /// so cached decisions stay valid for the service's lifetime.
+  std::unique_ptr<RewriteResultCache> result_cache;
 
   /// Online learning plane (both null while ServiceConfig::online_learning
   /// is off). Like the shared store, these are internally synchronized

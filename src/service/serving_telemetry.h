@@ -17,9 +17,53 @@
 #define MALIVA_SERVICE_SERVING_TELEMETRY_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 
 namespace maliva {
+
+/// Per-request serving telemetry carried on the response. The counters are
+/// deterministic given the shared-store snapshot the request saw;
+/// selectivities_collected is populated in every mode (it is the request's
+/// full bill when cross_request_cache is off), while the shared_* fields
+/// are identically zero with the plane off. serve_wall_ms is host
+/// wall-clock time — the one non-virtual, run-varying number — and is
+/// excluded from byte-identity guarantees (as are the result_cache_* flags,
+/// which describe *how* the decision was obtained, not the decision).
+struct RequestStats {
+  /// Selectivity slots this request collected (and paid for) itself.
+  size_t selectivities_collected = 0;
+  /// Slots pre-seeded free from the shared store.
+  size_t shared_hits = 0;
+  /// Per-rung slot accounting of the selectivity ladder: [0] shared-store
+  /// seeds (== shared_hits), [1] histogram-tier estimates, [2] probes
+  /// (sample/true-selectivity collections, statistics fallbacks included).
+  /// [1] + [2] == selectivities_collected; [1] is identically zero while
+  /// ServiceConfig::histogram_selectivity is off.
+  size_t selectivity_tier_hits[3] = {0, 0, 0};
+  /// New entries this request contributed to the shared store.
+  size_t shared_published = 0;
+  /// Version of the agent snapshot that served this request; 0 when the
+  /// online learning plane is off or the strategy serves frozen weights.
+  uint64_t agent_snapshot_version = 0;
+  /// Rewrite-result cache (service/rewrite_result_cache.h): true when this
+  /// response replayed a cached decision instead of running the search. The
+  /// selectivity counters above are then the *template* of the miss that
+  /// computed the entry — the original search's bill, not new work.
+  bool result_cache_hit = false;
+  /// True when the decision came from another request's in-flight search
+  /// (single-flight follower, or a ServeBatch in-batch dedup replay).
+  bool result_cache_coalesced = false;
+  /// Overload control plane (service_fleet.h): true when the admission gate
+  /// predicted the requested strategy would miss its deadline and forced the
+  /// configured degrade strategy instead. Always false off that path.
+  bool degraded = false;
+  /// Wall ms this request waited in the fleet's deadline scheduler between
+  /// arrival and dispatch; 0 off the scheduler path.
+  double queue_wait_ms = 0.0;
+  /// Host wall-clock serving latency, milliseconds.
+  double serve_wall_ms = 0.0;
+};
 
 /// One consistent-enough snapshot of the service's serving counters.
 struct ServiceStats {
@@ -49,6 +93,19 @@ struct ServiceStats {
   double histogram_mean_abs_rel_error = 0.0;  ///< windowed estimate-vs-probe error
   uint64_t histogram_error_samples = 0;       ///< samples behind that mean
   uint64_t histogram_demoted_columns = 0;     ///< columns demoted to probing
+
+  // Rewrite-result cache (DESIGN.md "Rewrite-result cache"; identically
+  // zero while ServiceConfig::result_cache is off). hits/misses/coalesced
+  // partition the cache-probed requests: replayed from a resident entry,
+  // computed (leader or solo), or served by another request's in-flight
+  // search. stale_declines counts fingerprint matches refused because their
+  // epoch or snapshot context had moved on — the O(1) invalidation at work.
+  uint64_t result_cache_hits = 0;       ///< decisions replayed from the cache
+  uint64_t result_cache_misses = 0;     ///< decisions computed (and published)
+  uint64_t result_cache_coalesced = 0;  ///< served by another's search
+  uint64_t result_cache_evictions = 0;  ///< entries the CLOCK hand dropped
+  uint64_t result_cache_stale_declines = 0;  ///< context-mismatch refusals
+  uint64_t result_cache_size = 0;       ///< resident entries at snapshot time
 
   // Online learning plane (identically zero while ServiceConfig::
   // online_learning is off). online_snapshot_version is the newest
@@ -101,6 +158,16 @@ class ServingTelemetry {
     published_.fetch_add(published, std::memory_order_relaxed);
     histogram_hits_.fetch_add(histogram_hits, std::memory_order_relaxed);
     probes_.fetch_add(probes, std::memory_order_relaxed);
+    if (exact_fallback) fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    wall_ns_.fetch_add(static_cast<uint64_t>(wall_ms * 1e6), std::memory_order_relaxed);
+  }
+
+  /// A request answered from the rewrite-result cache: count the request
+  /// (and its response-level fallback flag), but none of the selectivity
+  /// counters — the cached template describes work the *original* miss did,
+  /// and re-folding it here would double-count the fleet's actual bill.
+  void RecordServedCached(bool exact_fallback, double wall_ms) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
     if (exact_fallback) fallbacks_.fetch_add(1, std::memory_order_relaxed);
     wall_ns_.fetch_add(static_cast<uint64_t>(wall_ms * 1e6), std::memory_order_relaxed);
   }

@@ -157,6 +157,89 @@ TEST(QuerySignatureTest, FinerBinsSeparateWhatCoarseBinsShare) {
             PredicateSlotKey("tweets", jitter, SignatureOptions{1 << 20}));
 }
 
+TEST(QuerySignatureTest, FingerprintStableWithinTauBin) {
+  CanonicalQuery canonical = Canonicalize(TwitterishQuery());
+  FingerprintOptions opts;  // tau_bin_ms = 25.0
+  // Same [k*25, (k+1)*25) interval shares the fingerprint; crossing the bin
+  // edge (exactly 25.0 starts the next bin) does not.
+  RequestFingerprint lo =
+      MakeRequestFingerprint(canonical.signature, "mdp", 0.0, std::nullopt, opts);
+  RequestFingerprint hi = MakeRequestFingerprint(canonical.signature, "mdp",
+                                                 24.999, std::nullopt, opts);
+  RequestFingerprint next = MakeRequestFingerprint(canonical.signature, "mdp",
+                                                   25.0, std::nullopt, opts);
+  EXPECT_EQ(lo, hi);
+  EXPECT_NE(lo, next);
+  EXPECT_EQ(next, MakeRequestFingerprint(canonical.signature, "mdp", 49.9,
+                                         std::nullopt, opts));
+}
+
+TEST(QuerySignatureTest, FingerprintSeparatesStrategyAndSignature) {
+  CanonicalQuery a = Canonicalize(TwitterishQuery());
+  Query other = TwitterishQuery();
+  other.predicates[0].keyword = "flood";
+  CanonicalQuery b = Canonicalize(other);
+
+  RequestFingerprint base =
+      MakeRequestFingerprint(a.signature, "mdp", 100.0, std::nullopt);
+  EXPECT_NE(base, MakeRequestFingerprint(a.signature, "greedy", 100.0,
+                                         std::nullopt));
+  EXPECT_NE(base, MakeRequestFingerprint(b.signature, "mdp", 100.0,
+                                         std::nullopt));
+}
+
+TEST(QuerySignatureTest, FingerprintQualityFloorBinning) {
+  CanonicalQuery canonical = Canonicalize(TwitterishQuery());
+  FingerprintOptions opts;  // quality_floor_bins = 100
+  RequestFingerprint none =
+      MakeRequestFingerprint(canonical.signature, "mdp", 100.0, std::nullopt, opts);
+  RequestFingerprint low =
+      MakeRequestFingerprint(canonical.signature, "mdp", 100.0, 0.901, opts);
+  RequestFingerprint same_bin =
+      MakeRequestFingerprint(canonical.signature, "mdp", 100.0, 0.909, opts);
+  RequestFingerprint next_bin =
+      MakeRequestFingerprint(canonical.signature, "mdp", 100.0, 0.911, opts);
+  RequestFingerprint top =
+      MakeRequestFingerprint(canonical.signature, "mdp", 100.0, 1.0, opts);
+
+  // Absent floor is always its own key.
+  EXPECT_NE(none, low);
+  EXPECT_NE(none, top);
+  // Floors within one 1/100 bin share; crossing the edge separates.
+  EXPECT_EQ(low, same_bin);
+  EXPECT_NE(low, next_bin);
+  // 1.0 gets its own top bin, distinct from 0.99x floors.
+  EXPECT_NE(top, MakeRequestFingerprint(canonical.signature, "mdp", 100.0,
+                                        0.995, opts));
+}
+
+TEST(QuerySignatureTest, FingerprintBinWidthKnobs) {
+  CanonicalQuery canonical = Canonicalize(TwitterishQuery());
+  // Coarser tau bins share what the default separates.
+  FingerprintOptions wide;
+  wide.tau_bin_ms = 1000.0;
+  EXPECT_EQ(MakeRequestFingerprint(canonical.signature, "mdp", 30.0,
+                                   std::nullopt, wide),
+            MakeRequestFingerprint(canonical.signature, "mdp", 970.0,
+                                   std::nullopt, wide));
+  FingerprintOptions dflt;
+  EXPECT_NE(MakeRequestFingerprint(canonical.signature, "mdp", 30.0,
+                                   std::nullopt, dflt),
+            MakeRequestFingerprint(canonical.signature, "mdp", 970.0,
+                                   std::nullopt, dflt));
+  // One floor bin conflates every bound floor but still not the absent one.
+  FingerprintOptions one_bin;
+  one_bin.quality_floor_bins = 1;
+  EXPECT_EQ(MakeRequestFingerprint(canonical.signature, "mdp", 100.0, 0.1,
+                                   one_bin),
+            MakeRequestFingerprint(canonical.signature, "mdp", 100.0, 0.9,
+                                   one_bin));
+  EXPECT_NE(MakeRequestFingerprint(canonical.signature, "mdp", 100.0, 0.1,
+                                   one_bin),
+            MakeRequestFingerprint(canonical.signature, "mdp", 100.0,
+                                   std::nullopt, one_bin));
+}
+
 TEST(QuerySignatureTest, JoinRightPredicatesKeyAgainstTheRightTable) {
   Query q = TwitterishQuery();
   q.join = JoinSpec{"users", "user_id", "id",

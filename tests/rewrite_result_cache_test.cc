@@ -1,0 +1,672 @@
+// Rewrite-result cache tests (service/rewrite_result_cache.h): the cache
+// module's single-flight / CLOCK / context-validation mechanics, the service
+// wiring (hit byte-identity, in-batch dedup, probe-only admission path), and
+// the invalidation races (catalog epoch + agent snapshot bumps mid-stream).
+// The suite names carry "ResultCache" so the scripts/ci.sh sanitizer legs
+// (-R '...|ResultCache') run them under TSan/ASan.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/rewrite_result_cache.h"
+#include "service/service.h"
+#include "service/service_fleet.h"
+
+namespace maliva {
+namespace {
+
+// ------------------------------------------------------------ unit tests ---
+
+/// Marker payloads: entries are told apart by outcome.total_ms.
+CachedRewrite Marked(double marker) {
+  CachedRewrite value;
+  value.strategy = "marker";
+  value.outcome.total_ms = marker;
+  return value;
+}
+
+TEST(ResultCacheUnitTest, BeginMissPublishHitRoundTrip) {
+  RewriteResultCache cache({.capacity = 16, .shards = 2});
+  RewriteResultCache::Ticket miss = cache.Begin(42, 1, 1);
+  ASSERT_EQ(miss.role, RewriteResultCache::Role::kLeader);
+  cache.Publish(miss, 42, 1, 1, Marked(7.0));
+
+  RewriteResultCache::Ticket hit = cache.Begin(42, 1, 1);
+  ASSERT_EQ(hit.role, RewriteResultCache::Role::kHit);
+  ASSERT_TRUE(hit.value.has_value());
+  EXPECT_DOUBLE_EQ(hit.value->outcome.total_ms, 7.0);
+
+  RewriteResultCache::Stats stats = cache.Snapshot();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.size, 1u);
+  EXPECT_EQ(stats.stale_declines, 0u);
+}
+
+TEST(ResultCacheUnitTest, ContextMismatchDeclinesAndReplacesInPlace) {
+  RewriteResultCache cache({.capacity = 16, .shards = 1});
+  RewriteResultCache::Ticket t = cache.Begin(42, /*epoch=*/1, /*snapshot=*/1);
+  cache.Publish(t, 42, 1, 1, Marked(1.0));
+
+  // Same fingerprint, moved epoch: never trusted, and the recompute's
+  // publish replaces the resident entry without growing the map.
+  RewriteResultCache::Ticket stale = cache.Begin(42, /*epoch=*/2, 1);
+  ASSERT_EQ(stale.role, RewriteResultCache::Role::kLeader);
+  cache.Publish(stale, 42, 2, 1, Marked(2.0));
+  EXPECT_EQ(cache.Size(), 1u);
+  EXPECT_EQ(cache.Snapshot().stale_declines, 1u);
+
+  RewriteResultCache::Ticket hit = cache.Begin(42, 2, 1);
+  ASSERT_EQ(hit.role, RewriteResultCache::Role::kHit);
+  EXPECT_DOUBLE_EQ(hit.value->outcome.total_ms, 2.0);
+
+  // A snapshot-version move declines the same way.
+  RewriteResultCache::Ticket snap = cache.Begin(42, 2, /*snapshot=*/9);
+  EXPECT_EQ(snap.role, RewriteResultCache::Role::kLeader);
+  cache.Abort(snap, 42);
+  EXPECT_EQ(cache.Snapshot().stale_declines, 2u);
+}
+
+TEST(ResultCacheUnitTest, ClockEvictionGivesReferencedEntriesASecondChance) {
+  RewriteResultCache cache({.capacity = 4, .shards = 1});
+  for (uint64_t key = 1; key <= 4; ++key) {
+    RewriteResultCache::Ticket t = cache.Begin(key, 1, 1);
+    ASSERT_EQ(t.role, RewriteResultCache::Role::kLeader);
+    cache.Publish(t, key, 1, 1, Marked(static_cast<double>(key)));
+  }
+  // Reference key 2 — the first entry the hand will reach. The sweep must
+  // clear its bit and evict key 3 (the first unreferenced victim) instead.
+  ASSERT_EQ(cache.Begin(2, 1, 1).role, RewriteResultCache::Role::kHit);
+
+  RewriteResultCache::Ticket t5 = cache.Begin(5, 1, 1);
+  ASSERT_EQ(t5.role, RewriteResultCache::Role::kLeader);
+  cache.Publish(t5, 5, 1, 1, Marked(5.0));
+
+  EXPECT_EQ(cache.Snapshot().evictions, 1u);
+  EXPECT_EQ(cache.Size(), 4u);
+  EXPECT_EQ(cache.Begin(2, 1, 1).role, RewriteResultCache::Role::kHit);
+  EXPECT_EQ(cache.Begin(5, 1, 1).role, RewriteResultCache::Role::kHit);
+  RewriteResultCache::Ticket evicted = cache.Begin(3, 1, 1);
+  EXPECT_EQ(evicted.role, RewriteResultCache::Role::kLeader);
+  cache.Abort(evicted, 3);
+}
+
+TEST(ResultCacheUnitTest, ShardCountIsClampedToCapacity) {
+  RewriteResultCache cache({.capacity = 3, .shards = 64});
+  EXPECT_EQ(cache.capacity(), 3u);
+  EXPECT_EQ(cache.num_shards(), 3u);
+  RewriteResultCache floor({.capacity = 0, .shards = 0});
+  EXPECT_EQ(floor.capacity(), 1u);
+  EXPECT_EQ(floor.num_shards(), 1u);
+}
+
+TEST(ResultCacheUnitTest, FollowerReceivesLeaderValue) {
+  RewriteResultCache cache({.capacity = 16, .shards = 1});
+  RewriteResultCache::Ticket leader = cache.Begin(42, 1, 1);
+  ASSERT_EQ(leader.role, RewriteResultCache::Role::kLeader);
+
+  std::optional<CachedRewrite> followed;
+  std::atomic<bool> enrolled{false};
+  std::thread follower([&cache, &followed, &enrolled] {
+    RewriteResultCache::Ticket t = cache.Begin(42, 1, 1);
+    ASSERT_EQ(t.role, RewriteResultCache::Role::kFollower);
+    enrolled.store(true);
+    followed = cache.WaitForLeader(t);
+  });
+  // Publish only after the follower holds its ticket; whether it has
+  // reached WaitForLeader yet must not matter (done is latched, not
+  // pulsed).
+  while (!enrolled.load()) std::this_thread::yield();
+  cache.Publish(leader, 42, 1, 1, Marked(7.0));
+  follower.join();
+
+  ASSERT_TRUE(followed.has_value());
+  EXPECT_DOUBLE_EQ(followed->outcome.total_ms, 7.0);
+  EXPECT_EQ(cache.Snapshot().coalesced, 1u);
+}
+
+TEST(ResultCacheUnitTest, AbortWakesFollowersEmptyAndFreesTheKey) {
+  RewriteResultCache cache({.capacity = 16, .shards = 1});
+  RewriteResultCache::Ticket leader = cache.Begin(42, 1, 1);
+  ASSERT_EQ(leader.role, RewriteResultCache::Role::kLeader);
+
+  std::optional<CachedRewrite> followed = Marked(0.0);
+  std::atomic<bool> enrolled{false};
+  std::thread follower([&cache, &followed, &enrolled] {
+    RewriteResultCache::Ticket t = cache.Begin(42, 1, 1);
+    ASSERT_EQ(t.role, RewriteResultCache::Role::kFollower);
+    enrolled.store(true);
+    followed = cache.WaitForLeader(t);
+  });
+  while (!enrolled.load()) std::this_thread::yield();
+  cache.Abort(leader, 42);
+  follower.join();
+
+  EXPECT_FALSE(followed.has_value());  // compute solo, not coalesced
+  EXPECT_EQ(cache.Snapshot().coalesced, 0u);
+  EXPECT_EQ(cache.Size(), 0u);
+
+  // The aborted flight is deregistered: the key is free to lead again.
+  RewriteResultCache::Ticket retry = cache.Begin(42, 1, 1);
+  EXPECT_EQ(retry.role, RewriteResultCache::Role::kLeader);
+  cache.Abort(retry, 42);
+}
+
+TEST(ResultCacheUnitTest, FlightUnderDifferentContextYieldsSolo) {
+  RewriteResultCache cache({.capacity = 16, .shards = 1});
+  RewriteResultCache::Ticket leader = cache.Begin(42, /*epoch=*/1, 1);
+  ASSERT_EQ(leader.role, RewriteResultCache::Role::kLeader);
+
+  // A new-epoch request must not inherit the old-epoch leader's answer.
+  RewriteResultCache::Ticket solo = cache.Begin(42, /*epoch=*/2, 1);
+  EXPECT_EQ(solo.role, RewriteResultCache::Role::kSolo);
+  EXPECT_EQ(solo.flight, nullptr);
+  cache.Publish(leader, 42, 1, 1, Marked(1.0));
+  cache.Publish(solo, 42, 2, 1, Marked(2.0));
+
+  // The solo's newer-context publish landed last and is the resident entry.
+  RewriteResultCache::Ticket hit = cache.Begin(42, 2, 1);
+  ASSERT_EQ(hit.role, RewriteResultCache::Role::kHit);
+  EXPECT_DOUBLE_EQ(hit.value->outcome.total_ms, 2.0);
+}
+
+TEST(ResultCacheUnitTest, ProbeNeverCountsMissesOrEnrollsFlights) {
+  RewriteResultCache cache({.capacity = 16, .shards = 1});
+  EXPECT_FALSE(cache.Probe(42, 1, 1).has_value());
+  EXPECT_EQ(cache.Snapshot().misses, 0u);
+
+  // The probe did not become a leader: the next Begin leads.
+  RewriteResultCache::Ticket t = cache.Begin(42, 1, 1);
+  ASSERT_EQ(t.role, RewriteResultCache::Role::kLeader);
+  cache.Publish(t, 42, 1, 1, Marked(7.0));
+
+  std::optional<CachedRewrite> probed = cache.Probe(42, 1, 1);
+  ASSERT_TRUE(probed.has_value());
+  EXPECT_DOUBLE_EQ(probed->outcome.total_ms, 7.0);
+  EXPECT_FALSE(cache.Probe(42, /*epoch=*/2, 1).has_value());  // context-exact
+  RewriteResultCache::Stats stats = cache.Snapshot();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+// --------------------------------------------------------- service tests ---
+
+class ResultCacheServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ScenarioConfig cfg;
+    cfg.kind = DatasetKind::kTwitter;
+    cfg.num_rows = 20000;
+    cfg.num_queries = 120;
+    cfg.tau_ms = 500.0;
+    cfg.seed = 211;
+    cfg.approx_sample_rates = {0.2, 0.4};
+    scenario_ = new Scenario(BuildScenario(cfg));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+
+  static ServiceConfig SmallConfig() {
+    return ServiceConfig()
+        .WithTrainerIterations(3)
+        .WithAgentSeeds(1)
+        .WithApproxRules({{ApproxKind::kSampleTable, 0.2},
+                          {ApproxKind::kSampleTable, 0.4}});
+  }
+
+  static RewriteRequest Request(size_t query_index,
+                                const std::string& strategy = "mdp/accurate") {
+    RewriteRequest req;
+    req.query = scenario_->evaluation[query_index % scenario_->evaluation.size()];
+    req.strategy = strategy;
+    return req;
+  }
+
+  /// The decision bytes a hit must replay exactly (wall clock and the
+  /// result_cache_* how-served flags are the documented exclusions).
+  static void ExpectSameDecision(const Result<RewriteResponse>& a,
+                                 const Result<RewriteResponse>& b) {
+    ASSERT_EQ(a.ok(), b.ok());
+    if (!a.ok()) {
+      EXPECT_EQ(a.status().code(), b.status().code());
+      EXPECT_EQ(a.status().message(), b.status().message());
+      return;
+    }
+    const RewriteResponse& ra = a.value();
+    const RewriteResponse& rb = b.value();
+    EXPECT_EQ(ra.strategy, rb.strategy);
+    EXPECT_EQ(ra.rewritten_sql, rb.rewritten_sql);
+    EXPECT_EQ(ra.exact_fallback, rb.exact_fallback);
+    EXPECT_EQ(ra.outcome.option_index, rb.outcome.option_index);
+    EXPECT_EQ(ra.outcome.planning_ms, rb.outcome.planning_ms);
+    EXPECT_EQ(ra.outcome.exec_ms, rb.outcome.exec_ms);
+    EXPECT_EQ(ra.outcome.total_ms, rb.outcome.total_ms);
+    EXPECT_EQ(ra.outcome.viable, rb.outcome.viable);
+    EXPECT_EQ(ra.outcome.steps, rb.outcome.steps);
+    EXPECT_EQ(ra.outcome.quality, rb.outcome.quality);
+    EXPECT_EQ(ra.outcome.approximate, rb.outcome.approximate);
+    EXPECT_EQ(ra.stats.selectivities_collected, rb.stats.selectivities_collected);
+    EXPECT_EQ(ra.stats.agent_snapshot_version, rb.stats.agent_snapshot_version);
+  }
+
+  static Scenario* scenario_;
+};
+
+Scenario* ResultCacheServiceTest::scenario_ = nullptr;
+
+TEST_F(ResultCacheServiceTest, OffByDefaultWithZeroTelemetry) {
+  MalivaService service(scenario_, SmallConfig());
+  RewriteRequest req = Request(0);
+  Result<RewriteResponse> a = service.Serve(req);
+  Result<RewriteResponse> b = service.Serve(req);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(a.value().stats.result_cache_hit);
+  EXPECT_FALSE(b.value().stats.result_cache_hit);
+  EXPECT_FALSE(service.TryServeCached(req).has_value());
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.result_cache_hits, 0u);
+  EXPECT_EQ(stats.result_cache_misses, 0u);
+  EXPECT_EQ(stats.result_cache_coalesced, 0u);
+  EXPECT_EQ(stats.result_cache_size, 0u);
+}
+
+TEST_F(ResultCacheServiceTest, HitReplaysTheMissByteForByte) {
+  MalivaService service(scenario_, SmallConfig().WithResultCache(true));
+  RewriteRequest req = Request(0);
+
+  Result<RewriteResponse> miss = service.Serve(req);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss.value().stats.result_cache_hit);
+
+  Result<RewriteResponse> hit = service.Serve(req);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit.value().stats.result_cache_hit);
+  EXPECT_FALSE(hit.value().stats.result_cache_coalesced);
+  ExpectSameDecision(miss, hit);
+  // The replayed template carries the original search's bill; the hit
+  // itself did no selectivity work.
+  EXPECT_EQ(hit.value().stats.shared_hits, miss.value().stats.shared_hits);
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.result_cache_hits, 1u);
+  EXPECT_EQ(stats.result_cache_misses, 1u);
+  EXPECT_EQ(stats.result_cache_size, 1u);
+  EXPECT_EQ(stats.requests, 2u);
+
+  // Distinct query, distinct fingerprint: a miss, not a collision.
+  Result<RewriteResponse> other = service.Serve(Request(1));
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(other.value().stats.result_cache_hit);
+  EXPECT_EQ(service.Stats().result_cache_misses, 2u);
+}
+
+TEST_F(ResultCacheServiceTest, HitsDoNotRebillSelectivityTelemetry) {
+  MalivaService service(scenario_, SmallConfig().WithResultCache(true));
+  RewriteRequest req = Request(2);
+  ASSERT_TRUE(service.Serve(req).ok());
+  uint64_t collected_after_miss = service.Stats().selectivities_collected;
+  ASSERT_TRUE(service.Serve(req).ok());
+  ASSERT_TRUE(service.Serve(req).ok());
+  // Replays bill no new selectivity work; only the request counter moves.
+  EXPECT_EQ(service.Stats().selectivities_collected, collected_after_miss);
+  EXPECT_EQ(service.Stats().requests, 3u);
+}
+
+TEST_F(ResultCacheServiceTest, MissPathMatchesCacheOffServiceByteForByte) {
+  MalivaService off(scenario_, SmallConfig().WithNumThreads(1));
+  MalivaService on(scenario_,
+                   SmallConfig().WithResultCache(true).WithNumThreads(8));
+
+  // Mixed strategies, taus, floors, and error requests: with the cache on,
+  // every decision (first-seen misses and replayed duplicates alike) must
+  // carry the bytes the cache-off service computes.
+  std::vector<RewriteRequest> requests;
+  const char* strategies[] = {"baseline", "naive", "mdp/accurate", "bao"};
+  for (size_t i = 0; i < 80; ++i) {
+    RewriteRequest req = Request(i / 2, strategies[i % 4]);
+    if (i % 5 == 0) req.tau_ms = 250.0 + 50.0 * static_cast<double>(i % 4);
+    if (i % 7 == 0) req.quality_floor = 0.9;
+    if (i % 17 == 0) req.strategy = "definitely/not-a-strategy";
+    requests.push_back(req);
+  }
+  std::vector<Result<RewriteResponse>> expected = off.ServeBatch(requests);
+  std::vector<Result<RewriteResponse>> got = on.ServeBatch(requests);
+  ASSERT_EQ(expected.size(), got.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    SCOPED_TRACE(i);
+    ExpectSameDecision(expected[i], got[i]);
+  }
+  // And a second identical batch — now served mostly from the cache — still
+  // reproduces the same bytes.
+  std::vector<Result<RewriteResponse>> replayed = on.ServeBatch(requests);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    SCOPED_TRACE(i);
+    ExpectSameDecision(expected[i], replayed[i]);
+  }
+  EXPECT_GT(on.Stats().result_cache_hits + on.Stats().result_cache_coalesced,
+            0u);
+}
+
+TEST_F(ResultCacheServiceTest, BatchDedupCoalescesDuplicatesWithinOneBatch) {
+  MalivaService service(scenario_,
+                        SmallConfig().WithResultCache(true).WithNumThreads(4));
+  ASSERT_TRUE(service.Warmup({"mdp/accurate"}).ok());
+
+  // 4 distinct requests, 4 copies each, interleaved. The cache is cold, so
+  // every replayed copy can only come from the in-batch dedup pre-pass.
+  std::vector<RewriteRequest> requests;
+  for (size_t copy = 0; copy < 4; ++copy) {
+    for (size_t q = 0; q < 4; ++q) requests.push_back(Request(q));
+  }
+  std::vector<Result<RewriteResponse>> responses = service.ServeBatch(requests);
+  ASSERT_EQ(responses.size(), requests.size());
+  for (size_t i = 0; i < responses.size(); ++i) {
+    SCOPED_TRACE(i);
+    ASSERT_TRUE(responses[i].ok()) << responses[i].status().ToString();
+    ExpectSameDecision(responses[i % 4], responses[i]);
+    EXPECT_EQ(responses[i].value().stats.result_cache_coalesced, i >= 4);
+  }
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.result_cache_coalesced, 12u);  // 3 replayed copies x 4
+  EXPECT_EQ(stats.result_cache_misses, 4u);      // one search per distinct
+  EXPECT_EQ(stats.requests, 16u);
+}
+
+TEST_F(ResultCacheServiceTest, TauAndFloorBinsShareDecisionsWithinABin) {
+  MalivaService service(scenario_, SmallConfig().WithResultCache(true));
+
+  RewriteRequest req = Request(0);
+  req.tau_ms = 300.0;
+  ASSERT_TRUE(service.Serve(req).ok());
+  // 310ms falls in the same 25ms bin (floor(300/25) == floor(310/25) == 12).
+  req.tau_ms = 310.0;
+  Result<RewriteResponse> same_bin = service.Serve(req);
+  ASSERT_TRUE(same_bin.ok());
+  EXPECT_TRUE(same_bin.value().stats.result_cache_hit);
+  // 330ms crosses into bin 13: its own search.
+  req.tau_ms = 330.0;
+  Result<RewriteResponse> next_bin = service.Serve(req);
+  ASSERT_TRUE(next_bin.ok());
+  EXPECT_FALSE(next_bin.value().stats.result_cache_hit);
+
+  // Quality floors bin at 1/100 granularity; absent is its own key.
+  RewriteRequest floored = Request(1);
+  floored.quality_floor = 0.901;
+  ASSERT_TRUE(service.Serve(floored).ok());
+  floored.quality_floor = 0.909;
+  Result<RewriteResponse> same_floor = service.Serve(floored);
+  ASSERT_TRUE(same_floor.ok());
+  EXPECT_TRUE(same_floor.value().stats.result_cache_hit);
+  floored.quality_floor.reset();
+  Result<RewriteResponse> no_floor = service.Serve(floored);
+  ASSERT_TRUE(no_floor.ok());
+  EXPECT_FALSE(no_floor.value().stats.result_cache_hit);
+}
+
+TEST_F(ResultCacheServiceTest, TryServeCachedIsProbeOnly) {
+  MalivaService service(scenario_, SmallConfig().WithResultCache(true));
+  RewriteRequest req = Request(0);
+
+  // Cold cache, cold strategy: the probe refuses to build or train anything
+  // and counts no miss.
+  EXPECT_FALSE(service.TryServeCached(req).has_value());
+  EXPECT_EQ(service.Stats().result_cache_misses, 0u);
+
+  ASSERT_TRUE(service.Serve(req).ok());
+  std::optional<RewriteResponse> cached = service.TryServeCached(req);
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_TRUE(cached->stats.result_cache_hit);
+  EXPECT_EQ(service.Stats().result_cache_hits, 1u);
+  EXPECT_EQ(service.Stats().result_cache_misses, 1u);  // the Serve's only
+}
+
+TEST_F(ResultCacheServiceTest, ValidateRejectsBadKnobs) {
+  RewriteRequest req;
+  req.query = scenario_->evaluation[0];
+  req.strategy = "baseline";
+  ServiceConfig bad[] = {
+      SmallConfig().WithResultCache(true).WithResultCacheCapacity(0),
+      SmallConfig().WithResultCache(true).WithResultCacheShards(0),
+      SmallConfig().WithResultCache(true).WithResultCacheCapacity(4).WithResultCacheShards(8),
+      SmallConfig().WithResultCache(true).WithResultCacheTauBinMs(0.0),
+      SmallConfig().WithResultCache(true).WithResultCacheTauBinMs(-5.0),
+      SmallConfig().WithResultCache(true).WithResultCacheFloorBins(0),
+  };
+  for (size_t i = 0; i < sizeof(bad) / sizeof(bad[0]); ++i) {
+    SCOPED_TRACE(i);
+    ASSERT_FALSE(bad[i].Validate().ok());
+    MalivaService service(scenario_, bad[i]);
+    EXPECT_EQ(service.Serve(req).status().code(),
+              Status::Code::kInvalidArgument);
+  }
+  // The knobs are inert while the cache is off.
+  EXPECT_TRUE(SmallConfig().WithResultCacheCapacity(0).Validate().ok());
+}
+
+TEST_F(ResultCacheServiceTest, FleetRollsUpCacheCountersAcrossShards) {
+  MalivaFleet fleet(FleetConfig()
+                        .WithDefaults(SmallConfig().WithResultCache(true))
+                        .WithWarmupThreads(0));
+  ASSERT_TRUE(fleet.RegisterScenario("tweets", scenario_).ok());
+
+  RewriteRequest req = Request(0);
+  req.scenario = "tweets";
+  ASSERT_TRUE(fleet.Serve(req).ok());
+  Result<RewriteResponse> hit = fleet.Serve(req);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit.value().stats.result_cache_hit);
+
+  FleetStats stats = fleet.Stats();
+  EXPECT_EQ(stats.totals.result_cache_hits, 1u);
+  EXPECT_EQ(stats.totals.result_cache_misses, 1u);
+  EXPECT_EQ(stats.totals.result_cache_size, 1u);
+  ASSERT_EQ(stats.shards.size(), 1u);
+  EXPECT_EQ(stats.shards[0].second.result_cache_hits, 1u);
+}
+
+TEST_F(ResultCacheServiceTest, AdmissionGateServesCacheHitsBeforeDeciding) {
+  // Admission on, cache on: a duplicate request must be answered from the
+  // cache ahead of the Decide ladder (counted as admitted, never shed or
+  // degraded, no scheduler dispatch).
+  AdmissionConfig admission;
+  admission.enabled = true;
+  admission.slack_factor = 10.0;  // lazy first-use training must not shed
+  MalivaFleet fleet(FleetConfig()
+                        .WithDefaults(SmallConfig().WithResultCache(true))
+                        .WithWarmupThreads(0)
+                        .WithAdmission(admission));
+  ASSERT_TRUE(fleet.RegisterScenario("tweets", scenario_).ok());
+
+  RewriteRequest req = Request(0);
+  req.scenario = "tweets";
+  Result<RewriteResponse> miss = fleet.Serve(req);
+  ASSERT_TRUE(miss.ok()) << miss.status().ToString();
+  Result<RewriteResponse> hit = fleet.Serve(req);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit.value().stats.result_cache_hit);
+  EXPECT_FALSE(hit.value().stats.degraded);
+  ExpectSameDecision(miss, hit);
+
+  FleetStats stats = fleet.Stats();
+  EXPECT_EQ(stats.admission.admitted, 2u);
+  EXPECT_EQ(stats.admission.shed_deadline + stats.admission.shed_overload, 0u);
+  EXPECT_EQ(stats.totals.result_cache_hits, 1u);
+}
+
+// ---------------------------------------------------- invalidation races ---
+
+class ResultCacheRaceTest : public ::testing::Test {
+ protected:
+  static ServiceConfig SmallConfig() {
+    return ServiceConfig().WithTrainerIterations(3).WithAgentSeeds(1);
+  }
+};
+
+TEST_F(ResultCacheRaceTest, CatalogBumpInvalidatesResidentDecisions) {
+  ScenarioConfig cfg;
+  cfg.kind = DatasetKind::kTwitter;
+  cfg.num_rows = 5000;
+  cfg.num_queries = 40;
+  cfg.seed = 223;
+  Scenario scenario = BuildScenario(cfg);
+  MalivaService service(&scenario, SmallConfig().WithResultCache(true));
+
+  RewriteRequest req;
+  req.query = scenario.evaluation[0];
+  req.strategy = "naive";
+  ASSERT_TRUE(service.Serve(req).ok());
+  Result<RewriteResponse> warm = service.Serve(req);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(warm.value().stats.result_cache_hit);
+
+  // A stats refresh moves catalog_version(): the resident decision predates
+  // the new ground truth and must never be replayed.
+  uint64_t before = scenario.engine->catalog_version();
+  ASSERT_TRUE(scenario.engine->BuildSampleTables("tweets", {0.33}, 4242).ok());
+  ASSERT_GT(scenario.engine->catalog_version(), before);
+
+  Result<RewriteResponse> recomputed = service.Serve(req);
+  ASSERT_TRUE(recomputed.ok());
+  EXPECT_FALSE(recomputed.value().stats.result_cache_hit);
+  EXPECT_GE(service.Stats().result_cache_stale_declines, 1u);
+  // The recompute re-warms the new epoch in place: same single entry.
+  Result<RewriteResponse> rewarmed = service.Serve(req);
+  ASSERT_TRUE(rewarmed.ok());
+  EXPECT_TRUE(rewarmed.value().stats.result_cache_hit);
+  EXPECT_EQ(service.Stats().result_cache_size, 1u);
+}
+
+TEST_F(ResultCacheRaceTest, SnapshotPublishInvalidatesResidentDecisions) {
+  ScenarioConfig cfg;
+  cfg.kind = DatasetKind::kTwitter;
+  cfg.num_rows = 20000;
+  cfg.num_queries = 120;
+  cfg.seed = 227;
+  Scenario scenario = BuildScenario(cfg);
+  MalivaService service(&scenario, SmallConfig()
+                                       .WithResultCache(true)
+                                       .WithOnlineLearning(true)
+                                       .WithOnlineTrainerThreads(0)
+                                       .WithOnlineGradientSteps(4)
+                                       .WithOnlineGateTolerance(10.0));
+  ASSERT_TRUE(service.Warmup({"mdp/accurate"}).ok());
+  const std::string key = "agent/exact-accurate";
+
+  // Misses on distinct queries feed the replay sink (hits record no
+  // feedback, so the fine-tune round below runs on miss transitions only).
+  std::vector<RewriteRequest> requests;
+  for (size_t i = 0; i < 32; ++i) {
+    RewriteRequest req;
+    req.query = scenario.evaluation[i % scenario.evaluation.size()];
+    req.strategy = "mdp/accurate";
+    requests.push_back(req);
+  }
+  for (const Result<RewriteResponse>& resp : service.ServeBatch(requests)) {
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    EXPECT_EQ(resp.value().stats.agent_snapshot_version, 1u);
+  }
+  Result<RewriteResponse> v1_hit = service.Serve(requests[0]);
+  ASSERT_TRUE(v1_hit.ok());
+  ASSERT_TRUE(v1_hit.value().stats.result_cache_hit);
+
+  // Publish snapshot v2: every resident v1 decision is dead, O(1).
+  ASSERT_TRUE(service.online_trainer()->RetrainNow(key));
+  ASSERT_EQ(service.model_registry()->CurrentVersion(key), 2u);
+
+  Result<RewriteResponse> recomputed = service.Serve(requests[0]);
+  ASSERT_TRUE(recomputed.ok());
+  EXPECT_FALSE(recomputed.value().stats.result_cache_hit);
+  EXPECT_EQ(recomputed.value().stats.agent_snapshot_version, 2u);
+  EXPECT_GE(service.Stats().result_cache_stale_declines, 1u);
+
+  // And the v2 decision is the new resident entry.
+  Result<RewriteResponse> v2_hit = service.Serve(requests[0]);
+  ASSERT_TRUE(v2_hit.ok());
+  EXPECT_TRUE(v2_hit.value().stats.result_cache_hit);
+  EXPECT_EQ(v2_hit.value().stats.agent_snapshot_version, 2u);
+}
+
+TEST_F(ResultCacheRaceTest, EightThreadsUnderSnapshotAndCatalogChurn) {
+  // The suite's TSan/ASan stress leg: 8 serving threads hammering a small
+  // hot set (maximal hit/coalesce pressure) while the main thread publishes
+  // new agent snapshots concurrently and bumps the catalog epoch between
+  // rounds (engine catalog mutation is documented build-phase-only, so the
+  // bump itself happens at a barrier; the *invalidations* land mid-stream).
+  // Invariants: every response ok, and per thread the served snapshot
+  // version never moves backwards — a replayed decision is never older than
+  // one the thread already observed.
+  ScenarioConfig cfg;
+  cfg.kind = DatasetKind::kTwitter;
+  cfg.num_rows = 20000;
+  cfg.num_queries = 120;
+  cfg.seed = 229;
+  Scenario scenario = BuildScenario(cfg);
+  MalivaService service(&scenario, SmallConfig()
+                                       .WithResultCache(true)
+                                       .WithResultCacheCapacity(64)
+                                       .WithOnlineLearning(true)
+                                       .WithOnlineTrainerThreads(0)
+                                       .WithOnlineGradientSteps(4)
+                                       .WithOnlineGateTolerance(10.0));
+  ASSERT_TRUE(service.Warmup({"mdp/accurate"}).ok());
+  const std::string key = "agent/exact-accurate";
+
+  std::atomic<bool> failed{false};
+  auto run_round = [&] {
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < 8; ++t) {
+      threads.emplace_back([&, t] {
+        uint64_t last_version = 0;
+        for (size_t i = 0; i < 40; ++i) {
+          RewriteRequest req;
+          req.query = scenario.evaluation[(t + i) % 6];  // 6-query hot set
+          req.strategy = "mdp/accurate";
+          Result<RewriteResponse> resp = service.Serve(req);
+          if (!resp.ok()) {
+            failed.store(true);
+            return;
+          }
+          uint64_t version = resp.value().stats.agent_snapshot_version;
+          if (version < last_version) {
+            failed.store(true);  // stale decision replayed
+            return;
+          }
+          last_version = version;
+        }
+      });
+    }
+    // Concurrent snapshot churn while the 8 threads serve.
+    for (int round = 0; round < 3; ++round) {
+      (void)service.online_trainer()->RetrainNow(key);
+    }
+    for (std::thread& thread : threads) thread.join();
+  };
+
+  run_round();
+  uint64_t before = scenario.engine->catalog_version();
+  ASSERT_TRUE(scenario.engine->BuildSampleTables("tweets", {0.25}, 4242).ok());
+  ASSERT_GT(scenario.engine->catalog_version(), before);
+  run_round();
+
+  EXPECT_FALSE(failed.load());
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.requests, 2u * 8u * 40u);
+  EXPECT_GT(stats.result_cache_hits, 0u);
+  // The catalog bump (and any mid-stream snapshot publish) must have forced
+  // context declines rather than stale replays.
+  EXPECT_GE(stats.result_cache_stale_declines, 1u);
+}
+
+}  // namespace
+}  // namespace maliva
