@@ -16,6 +16,7 @@
 #include "harness/setup.h"
 #include "service/service.h"
 #include "util/rng.h"
+#include "workload/arrival.h"
 
 namespace maliva {
 namespace bench {
@@ -63,30 +64,10 @@ inline ServiceConfig DefaultServiceConfig() {
   return ServiceConfig().WithTrainerIterations(25).WithAgentSeeds(2);
 }
 
-/// Seeded open-loop arrival process: i.i.d. exponential gaps at `rate_qps`,
-/// i.e. Poisson arrivals. Timestamps are purely virtual offsets from an
-/// arbitrary origin — the generator never reads the wall clock, so a given
-/// (rate, seed) pair replays the identical arrival trace on every run and on
-/// every machine; the *driver* decides how (or whether) to map offsets onto
-/// real time. This is what makes overload benches open-loop: arrivals keep
-/// their schedule no matter how far behind the server falls, instead of the
-/// closed-loop pattern where a slow server politely throttles its own load.
-class ArrivalGenerator {
- public:
-  ArrivalGenerator(double rate_qps, uint64_t seed)
-      : rate_per_ms_(rate_qps / 1000.0), rng_(seed) {}
-
-  /// Next arrival offset in virtual ms; strictly monotone non-decreasing.
-  double NextMs() {
-    next_ms_ += rng_.Exponential(rate_per_ms_);
-    return next_ms_;
-  }
-
- private:
-  double rate_per_ms_;
-  Rng rng_;
-  double next_ms_ = 0.0;
-};
+/// The open-loop arrival process now lives in src/workload/arrival.h
+/// (shared with the trace-replay driver); re-exported here so existing
+/// benches keep compiling unchanged.
+using maliva::ArrivalGenerator;
 
 /// Simple wall-clock stopwatch for reporting bench phases.
 class Stopwatch {

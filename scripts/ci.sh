@@ -139,13 +139,43 @@ else
   echo "python3 unavailable; skipping JSON validation"
 fi
 
+# Replay smoke: a seconds-scale bench_replay run must pass its own
+# acceptance checks (golden-trace digests identical across thread counts and
+# profiler/admission variants AND matching the committed tests/data goldens;
+# overload phase degrades + sheds; burst phase sheds on queue overflow) and
+# emit JSON with the expected schema.
+echo "== replay smoke: bench_replay --smoke =="
+./build/bench_replay --smoke --out build/BENCH_replay.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF' || { echo "BENCH_replay.json schema check failed" >&2; exit 1; }
+import json
+d = json.load(open('build/BENCH_replay.json'))
+assert d['bench'] == 'bench_replay'
+assert d['determinism']['match'] is True
+assert d['determinism']['golden'] == 'ok'
+for phase in ('steady', 'overload_2x', 'flash_burst'):
+    p = d['phases'][phase]
+    assert 'latency_ms' in p and 'scenarios' in p, phase
+    assert p['errors'] == 0, phase
+over = d['phases']['overload_2x']
+assert over['degraded'] + over['shed_overload'] + over['shed_deadline'] > 0
+assert d['phases']['flash_burst']['shed_overload'] > 0
+prof = d['phases']['golden_profiled']
+assert prof['profiled'] == prof['records'] > 0
+assert prof['profile_ms']['search'] > 0.0
+EOF
+  echo "BENCH_replay.json schema OK"
+else
+  echo "python3 unavailable; skipping JSON validation"
+fi
+
 # Both sanitizer legs run the service + concurrency + fleet + admission
 # suites (which include the SharedSelectivityStore stress test, the shard
 # plane's register/serve/drain stress test, and the overload plane's
 # serve-under-overload stress test) plus the selectivity-ladder suites —
 # training-heavy suites are slow under sanitizers and exercise no additional
 # threading or ownership.
-sanitizer_suites='Service|Concurrency|Fleet|Admission|Histogram|SelectivityTier|ResultCache'
+sanitizer_suites='Service|Concurrency|Fleet|Admission|Histogram|SelectivityTier|ResultCache|Replay|Profiler'
 
 if [[ "$run_tsan" == 1 ]]; then
   # TSan pass over the concurrent serving core: parallel ServeBatch, lazy

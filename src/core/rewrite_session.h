@@ -30,6 +30,7 @@
 #include "ml/replay_buffer.h"
 #include "qte/selectivity_cache.h"
 #include "qte/shared_selectivity_store.h"
+#include "util/query_profiler.h"
 #include "util/rng.h"
 
 namespace maliva {
@@ -81,14 +82,22 @@ class RewriteSession {
   /// starts pre-seeded with the store's knowledge instead of cold.
   SelectivityCache& NewCache(size_t num_slots) {
     SelectivityCache& cache = caches_.emplace_back(num_slots);
+    cache.BindProfiler(profiler_);
     if (store_ != nullptr && slot_keys_ != nullptr &&
         slot_keys_->size() == num_slots) {
+      // Pre-seeding is selectivity work inherited from earlier requests, so
+      // the whole span is billed to the ladder *and* re-attributed as cached.
+      if (profiler_ != nullptr) profiler_->StartTimer(QueryProfiler::kSelectivity);
       for (size_t slot = 0; slot < num_slots; ++slot) {
         std::optional<double> sel = store_->Lookup((*slot_keys_)[slot], epoch_);
         if (sel.has_value()) {
           cache.Set(slot, *sel);
           ++shared_seeded_;
         }
+      }
+      if (profiler_ != nullptr) {
+        double span = profiler_->StopTimer(QueryProfiler::kSelectivity);
+        profiler_->AddCachedMs(QueryProfiler::kSelectivity, span);
       }
     }
     return cache;
@@ -106,6 +115,16 @@ class RewriteSession {
   /// that would have re-collected a slot per episode counts the saving per
   /// episode too.
   size_t shared_seeded() const { return shared_seeded_; }
+
+  // --- cost profiler binding (ISSUE 9) -------------------------------------
+
+  /// Attaches the request's cost profiler: caches allocated after this call
+  /// carry the pointer, so the QTEs' collection loops can bill the
+  /// selectivity ladder. Borrowed; the service owns the profiler on the
+  /// serve call's stack. nullptr (the default) keeps profiling off with a
+  /// single pointer check per would-be span.
+  void BindProfiler(QueryProfiler* profiler) { profiler_ = profiler; }
+  QueryProfiler* profiler() const { return profiler_; }
 
   // --- online learning plane binding ---------------------------------------
 
@@ -156,6 +175,7 @@ class RewriteSession {
   const std::vector<uint64_t>* slot_keys_ = nullptr;
   uint64_t epoch_ = 0;
   size_t shared_seeded_ = 0;
+  QueryProfiler* profiler_ = nullptr;
   const QAgent* agent_override_ = nullptr;
   bool capture_transitions_ = false;
   std::vector<Experience> transitions_;

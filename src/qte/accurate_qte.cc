@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "qte/selectivity_tier.h"
+#include "util/query_profiler.h"
 
 namespace maliva {
 
@@ -17,14 +18,17 @@ QteEstimate AccurateQte::Estimate(const QteContext& ctx, size_t ro_index,
   // histogram tier — exactness is its contract — but its ground-truth probes
   // are the best error signal there is, so each one scores the tier's trust
   // windows (no estimate, cost, or result changes: byte-identity holds).
-  for (size_t slot : ctx.NeededSlots(ro_index)) {
-    if (cache->Has(slot)) continue;
-    QteContext::SlotTarget target = ctx.SlotTargetFor(slot);
-    Result<double> sel = ctx.engine->TrueSelectivity(*target.table, *target.pred);
-    cache->Set(slot, sel.ok() ? sel.value() : 0.0);
-    cache->NoteProbe();
-    if (ctx.tier != nullptr && sel.ok()) {
-      ctx.tier->RecordProbe(*target.table, *target.pred, sel.value());
+  {
+    ProfilerSimpleGuard ladder_span(cache->profiler(), QueryProfiler::kSelectivity);
+    for (size_t slot : ctx.NeededSlots(ro_index)) {
+      if (cache->Has(slot)) continue;
+      QteContext::SlotTarget target = ctx.SlotTargetFor(slot);
+      Result<double> sel = ctx.engine->TrueSelectivity(*target.table, *target.pred);
+      cache->Set(slot, sel.ok() ? sel.value() : 0.0);
+      cache->NoteProbe();
+      if (ctx.tier != nullptr && sel.ok()) {
+        ctx.tier->RecordProbe(*target.table, *target.pred, sel.value());
+      }
     }
   }
 

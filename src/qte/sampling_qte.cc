@@ -4,6 +4,7 @@
 
 #include "engine/optimizer.h"
 #include "qte/selectivity_tier.h"
+#include "util/query_profiler.h"
 
 namespace maliva {
 
@@ -20,36 +21,42 @@ QteEstimate SamplingQte::Estimate(const QteContext& ctx, size_t ro_index,
   // Collect missing selectivities down the ladder: histogram estimate when
   // the tier answers (charged its near-zero cost), else count(*) on the QTE
   // sample table at full probe cost. The bill accrues per slot alongside the
-  // collection decisions, so cost and collection can never disagree.
-  for (size_t slot : ctx.NeededSlots(ro_index)) {
-    if (cache->Has(slot)) continue;
-    QteContext::SlotTarget target = ctx.SlotTargetFor(slot);
-    const Predicate& pred = *target.pred;
-    const std::string& table = *target.table;
-    if (ctx.tier != nullptr) {
-      std::optional<double> est = ctx.tier->Estimate(table, pred);
-      if (est.has_value()) {
-        cache->Set(slot, *est);
-        cache->NoteHistogramHit();
-        out.cost_ms += ctx.tier->config().histogram_cost_ms;
-        continue;
+  // collection decisions, so cost and collection can never disagree. The
+  // ladder runs inside the strategy's search phase; the profiler span nests
+  // so search self-time can subtract it back out.
+  {
+    ProfilerSimpleGuard ladder_span(cache->profiler(), QueryProfiler::kSelectivity);
+    for (size_t slot : ctx.NeededSlots(ro_index)) {
+      if (cache->Has(slot)) continue;
+      QteContext::SlotTarget target = ctx.SlotTargetFor(slot);
+      const Predicate& pred = *target.pred;
+      const std::string& table = *target.table;
+      if (ctx.tier != nullptr) {
+        std::optional<double> est = ctx.tier->Estimate(table, pred);
+        if (est.has_value()) {
+          cache->Set(slot, *est);
+          cache->NoteHistogramHit();
+          out.cost_ms += ctx.tier->config().histogram_cost_ms;
+          continue;
+        }
       }
-    }
-    out.cost_ms += CostFactor() * ctx.ActualSlotCostMs(slot);
-    cache->NoteProbe();
-    Result<double> sel = ctx.engine->SampledSelectivity(table, pred, ctx.params.qte_sample_rate);
-    // Fall back to optimizer statistics when no sample table was built for
-    // the target (e.g. dimension tables).
-    if (!sel.ok()) {
-      const TableEntry* entry = ctx.engine->FindEntry(table);
-      assert(entry != nullptr);
-      cache->Set(slot, entry->stats->EstimateSelectivity(pred));
-    } else {
-      cache->Set(slot, sel.value());
-      // Feedback for the tier's trust windows: the probe is the reference
-      // the histogram replaces, so score the histogram against it (demoted
-      // columns keep getting scored here, which is their way back in).
-      if (ctx.tier != nullptr) ctx.tier->RecordProbe(table, pred, sel.value());
+      out.cost_ms += CostFactor() * ctx.ActualSlotCostMs(slot);
+      cache->NoteProbe();
+      Result<double> sel =
+          ctx.engine->SampledSelectivity(table, pred, ctx.params.qte_sample_rate);
+      // Fall back to optimizer statistics when no sample table was built for
+      // the target (e.g. dimension tables).
+      if (!sel.ok()) {
+        const TableEntry* entry = ctx.engine->FindEntry(table);
+        assert(entry != nullptr);
+        cache->Set(slot, entry->stats->EstimateSelectivity(pred));
+      } else {
+        cache->Set(slot, sel.value());
+        // Feedback for the tier's trust windows: the probe is the reference
+        // the histogram replaces, so score the histogram against it (demoted
+        // columns keep getting scored here, which is their way back in).
+        if (ctx.tier != nullptr) ctx.tier->RecordProbe(table, pred, sel.value());
+      }
     }
   }
 

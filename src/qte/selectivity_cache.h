@@ -14,6 +14,8 @@
 
 namespace maliva {
 
+class QueryProfiler;  // util/query_profiler.h
+
 /// Slot-indexed selectivity store: slots [0, m) are the base predicates,
 /// slots [m, m + r) the join right-side predicates.
 class SelectivityCache {
@@ -51,11 +53,19 @@ class SelectivityCache {
   size_t histogram_hits() const { return histogram_hits_; }
   size_t probes() const { return probes_; }
 
+  /// Cost profiler of the request this cache belongs to (ISSUE 9), stamped
+  /// by RewriteSession::NewCache; nullptr means profiling is off. Borrowed —
+  /// the QTEs' collection loops time themselves against it without the
+  /// session being visible from QteContext.
+  void BindProfiler(QueryProfiler* profiler) { profiler_ = profiler; }
+  QueryProfiler* profiler() const { return profiler_; }
+
  private:
   std::vector<std::optional<double>> slots_;
   size_t collected_ = 0;
   size_t histogram_hits_ = 0;
   size_t probes_ = 0;
+  QueryProfiler* profiler_ = nullptr;
 };
 
 }  // namespace maliva

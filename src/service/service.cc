@@ -14,6 +14,7 @@
 #include "qte/sampling_qte.h"
 #include "quality/quality.h"
 #include "query/rewritten_query.h"
+#include "util/query_profiler.h"
 #include "util/thread_pool.h"
 
 namespace maliva {
@@ -106,6 +107,11 @@ Status ServiceConfig::Validate() const {
       return Status::InvalidArgument(
           "histogram_selectivity requires histogram_error_window > 0");
     }
+  }
+  if (profile_requests && profile_sample_every == 0) {
+    return Status::InvalidArgument(
+        "profile_requests requires profile_sample_every >= 1 (0 would divide "
+        "by zero picking sampled requests)");
   }
   if (online_learning) {
     if (online_min_transitions == 0) {
@@ -461,6 +467,10 @@ RewriteResponse ReplayCached(const CachedRewrite& cached, const Query& query,
   resp.option = cached.option;
   resp.exact_fallback = cached.exact_fallback;
   resp.stats = cached.stats;
+  // A breakdown describes the request that measured it: replays must not
+  // inherit the original miss's profile (the hit path stamps its own partial
+  // breakdown when this request is itself profiled).
+  resp.stats.profile.reset();
   resp.stats.result_cache_hit = true;
   resp.stats.result_cache_coalesced = coalesced;
   resp.rewritten_sql = cached.option != nullptr
@@ -597,6 +607,19 @@ Result<RewriteResponse> MalivaService::ServeImpl(const RewriteRequest& request,
   RewriteSession session(RewriteSession::SeedFor(session_seed_base_, request_index));
   double tau = request.tau_ms.value_or(strategy.default_tau_ms());
 
+  // Measurement plane (ISSUE 9): a sampled request gets a stack-owned
+  // profiler bound to its session. `prof == nullptr` is the off path — no
+  // clock is ever read there, and the breakdown never feeds back into any
+  // decision, so responses stay byte-identical either way.
+  std::optional<QueryProfiler> profiler_storage;
+  QueryProfiler* prof = nullptr;
+  if (config_.profile_requests &&
+      request_index % config_.profile_sample_every == 0) {
+    profiler_storage.emplace(&QueryProfiler::WallClockMs);
+    prof = &*profiler_storage;
+    session.BindProfiler(prof);
+  }
+
   // Knowledge plane: canonicalize the query and bind the shared store so the
   // session's episode caches start pre-seeded with the selectivities earlier
   // requests collected. The epoch pins the store's entries to the current
@@ -607,6 +630,7 @@ Result<RewriteResponse> MalivaService::ServeImpl(const RewriteRequest& request,
   CanonicalQuery canonical;
   uint64_t epoch = 0;
   if (store != nullptr || rcache != nullptr) {
+    ProfilerSimpleGuard span(prof, QueryProfiler::kSignature);
     canonical = Canonicalize(*request.query, signature_options_);
     epoch = scenario_->engine->catalog_version();
   }
@@ -635,21 +659,41 @@ Result<RewriteResponse> MalivaService::ServeImpl(const RewriteRequest& request,
   RewriteResultCache::Ticket ticket;
   FlightAbortGuard abort_guard;
   if (rcache != nullptr) {
+    // The probe span covers fingerprinting, Begin, and a follower's wait on
+    // its leader; on a replayed decision the whole span is inherited work
+    // (AddCachedMs) and the response carries the partial breakdown measured
+    // so far — the replay itself does no search to bill.
+    if (prof != nullptr) prof->StartTimer(QueryProfiler::kCacheProbe);
     fingerprint = MakeRequestFingerprint(canonical.signature, name, tau,
                                          request.quality_floor,
                                          fingerprint_options_)
                       .value;
     ticket = rcache->Begin(fingerprint, epoch, snapshot_version);
     if (ticket.role == RewriteResultCache::Role::kHit) {
-      return ReplayCached(*ticket.value, *request.query, /*coalesced=*/false);
+      if (prof != nullptr) {
+        prof->AddCachedMs(QueryProfiler::kCacheProbe,
+                          prof->StopTimer(QueryProfiler::kCacheProbe));
+      }
+      RewriteResponse hit =
+          ReplayCached(*ticket.value, *request.query, /*coalesced=*/false);
+      if (prof != nullptr) hit.stats.profile = prof->Snapshot();
+      return hit;
     }
     if (ticket.role == RewriteResultCache::Role::kFollower) {
       std::optional<CachedRewrite> led = rcache->WaitForLeader(ticket);
       if (led.has_value()) {
-        return ReplayCached(*led, *request.query, /*coalesced=*/true);
+        if (prof != nullptr) {
+          prof->AddCachedMs(QueryProfiler::kCacheProbe,
+                            prof->StopTimer(QueryProfiler::kCacheProbe));
+        }
+        RewriteResponse coalesced =
+            ReplayCached(*led, *request.query, /*coalesced=*/true);
+        if (prof != nullptr) coalesced.stats.profile = prof->Snapshot();
+        return coalesced;
       }
       ticket = RewriteResultCache::Ticket{};  // leader aborted: compute solo
     }
+    if (prof != nullptr) prof->StopTimer(QueryProfiler::kCacheProbe);
     abort_guard = FlightAbortGuard{rcache, &ticket, fingerprint,
                                    ticket.role == RewriteResultCache::Role::kLeader};
   }
@@ -661,6 +705,7 @@ Result<RewriteResponse> MalivaService::ServeImpl(const RewriteRequest& request,
 
   RewriteResponse resp;
   resp.strategy = name;
+  if (prof != nullptr) prof->StartTimer(QueryProfiler::kSearch);
   resp.outcome = strategy.RewriteForSession(*request.query, tau, session);
   resp.option = strategy.DecidedOption(resp.outcome);
 
@@ -670,7 +715,11 @@ Result<RewriteResponse> MalivaService::ServeImpl(const RewriteRequest& request,
     // the original query unhinted (possibly sacrificing viability). The first
     // attempt's planning time was really spent, so it stays on the bill —
     // same accounting the two-stage rewriter uses for its stage hand-off.
+    // A cold "baseline" builds (trains) here — that is warm-up, not search,
+    // so the search span pauses around the lookup.
+    bool paused = prof != nullptr && prof->Pause(QueryProfiler::kSearch);
     Result<const Rewriter*> exact = GetRewriter("baseline");
+    if (paused) prof->Resume(QueryProfiler::kSearch);
     if (!exact.ok()) return exact.status();
     session.ChargeAbandonedAttempt(resp.outcome.planning_ms, resp.outcome.steps);
     session.set_exact_fallback(true);
@@ -682,6 +731,7 @@ Result<RewriteResponse> MalivaService::ServeImpl(const RewriteRequest& request,
     resp.outcome.viable = resp.outcome.total_ms <= tau;
     resp.option = exact.value()->DecidedOption(resp.outcome);
   }
+  if (prof != nullptr) prof->StopTimer(QueryProfiler::kSearch);
   resp.exact_fallback = session.exact_fallback();
 
   // Knowledge-plane accounting: shared hits were pre-seeded into the
@@ -704,6 +754,7 @@ Result<RewriteResponse> MalivaService::ServeImpl(const RewriteRequest& request,
   resp.stats.selectivity_tier_hits[1] = histogram_hits;
   resp.stats.selectivity_tier_hits[2] = probes;
   if (store != nullptr) {
+    ProfilerSimpleGuard span(prof, QueryProfiler::kPublish);
     for (const SelectivityCache& cache : session.caches()) {
       if (cache.num_slots() != canonical.slot_keys.size()) continue;
       for (size_t slot = 0; slot < cache.num_slots(); ++slot) {
@@ -730,16 +781,20 @@ Result<RewriteResponse> MalivaService::ServeImpl(const RewriteRequest& request,
     }
   }
 
-  resp.rewritten_sql =
-      resp.option != nullptr
-          ? RewrittenQuery{request.query, *resp.option}.ToString()
-          : request.query->ToString();
+  {
+    ProfilerSimpleGuard span(prof, QueryProfiler::kRender);
+    resp.rewritten_sql =
+        resp.option != nullptr
+            ? RewrittenQuery{request.query, *resp.option}.ToString()
+            : request.query->ToString();
+  }
 
   // Decision tier, publish side: the completed search becomes this context's
   // cached entry (leader resolution wakes any coalesced followers with it).
   // The stats captured here are the entry's replay template — hit flags and
   // the wall clock are per-request and still zero at this point.
   if (rcache != nullptr) {
+    ProfilerSimpleGuard span(prof, QueryProfiler::kPublish);
     abort_guard.Disarm();
     CachedRewrite cached;
     cached.strategy = resp.strategy;
@@ -750,6 +805,7 @@ Result<RewriteResponse> MalivaService::ServeImpl(const RewriteRequest& request,
     rcache->Publish(ticket, fingerprint, epoch, snapshot_version,
                     std::move(cached));
   }
+  if (prof != nullptr) resp.stats.profile = prof->Snapshot();
   return resp;
 }
 

@@ -203,6 +203,19 @@ struct ServiceConfig {
   /// holding a pruned version keep it alive through their own shared_ptr.
   size_t online_max_snapshots = 8;
 
+  /// Per-request cost profiling (DESIGN.md "Measurement plane"). Off (the
+  /// default): the serve path holds one null-pointer check per would-be
+  /// span, never reads a clock, and responses are byte-identical to pre-
+  /// profiler behavior. On: every profile_sample_every-th request (by batch
+  /// index; index 0 always profiles) carries a wall-clock phase breakdown —
+  /// signature / cache probe / selectivity ladder / search / render /
+  /// publish — in RequestStats::profile. The breakdown is measurement, not
+  /// decision state: decision bytes stay identical with profiling on or off
+  /// at every thread count.
+  bool profile_requests = false;
+  /// Profile every Nth request (1 = all). Must be >= 1 when profiling is on.
+  size_t profile_sample_every = 1;
+
   /// Upper bound Validate() accepts for num_threads.
   static constexpr size_t kMaxNumThreads = 4096;
 
@@ -344,6 +357,14 @@ struct ServiceConfig {
   }
   ServiceConfig& WithOnlineMaxSnapshots(size_t max_snapshots) {
     online_max_snapshots = max_snapshots;
+    return *this;
+  }
+  ServiceConfig& WithProfileRequests(bool enabled) {
+    profile_requests = enabled;
+    return *this;
+  }
+  ServiceConfig& WithProfileSampleEvery(size_t every) {
+    profile_sample_every = every;
     return *this;
   }
 };

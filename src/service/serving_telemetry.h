@@ -19,6 +19,9 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+
+#include "util/query_profiler.h"
 
 namespace maliva {
 
@@ -63,6 +66,14 @@ struct RequestStats {
   double queue_wait_ms = 0.0;
   /// Host wall-clock serving latency, milliseconds.
   double serve_wall_ms = 0.0;
+  /// Per-phase cost breakdown (ISSUE 9): set only when this request was
+  /// profiled (ServiceConfig::profile_requests, sampled every
+  /// profile_sample_every-th request). Wall-clock based and run-varying like
+  /// serve_wall_ms — excluded from byte-identity; the decision bytes of a
+  /// response are identical with profiling on or off. Cache-hit responses
+  /// carry the hit path's own (partial) breakdown, never the template of the
+  /// miss that computed the entry.
+  std::optional<ProfileBreakdown> profile;
 };
 
 /// One consistent-enough snapshot of the service's serving counters.

@@ -1,0 +1,13 @@
+#include "util/query_profiler.h"
+
+#include <chrono>
+
+namespace maliva {
+
+double QueryProfiler::WallClockMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace maliva

@@ -1,0 +1,293 @@
+// RAII per-request cost profiler for the serve path (ISSUE 9).
+//
+// Styled after mapping-gfbio's QueryProfiler guards (see SNIPPETS.md): a
+// request-scoped profiler accumulates wall time into named serve phases —
+// signature canonicalization, result-cache probe, the selectivity ladder,
+// the strategy's MDP search, SQL rendering, publish-out — through RAII
+// guards, so early returns and error paths can never leak a running timer
+// past its scope.
+//
+// Two axes of attribution:
+//   * self vs cumulative — the selectivity ladder runs *inside* the search
+//     phase (QTE calls happen mid-episode), so search's cumulative time
+//     includes selectivity; ProfileBreakdown::SelfMs(kSearch) subtracts it
+//     back out. All other phases are disjoint.
+//   * cached vs uncached — spans that were satisfied by earlier requests'
+//     work (shared-store pre-seeding, result-cache replays) are additionally
+//     recorded as cached_ms, splitting each phase's bill into "work done
+//     here" vs "work inherited".
+//
+// Determinism contract: the profiler measures host wall time, which is
+// run-varying by nature — like RequestStats::serve_wall_ms it is excluded
+// from every byte-identity guarantee, and the decision bytes of a response
+// are identical with profiling on or off. The off path is free: a
+// default-constructed (or enabled=false) profiler never calls its clock —
+// tests assert this with a counting clock — and the serve path holds only
+// one null-pointer check per would-be span.
+
+#ifndef MALIVA_UTIL_QUERY_PROFILER_H_
+#define MALIVA_UTIL_QUERY_PROFILER_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace maliva {
+
+/// One phase's accumulated bill inside a ProfileBreakdown.
+struct ProfilePhaseStats {
+  double total_ms = 0.0;   ///< summed span wall time (cached spans included)
+  double cached_ms = 0.0;  ///< portion attributed to earlier requests' work
+  uint64_t count = 0;      ///< spans started (StartTimer calls)
+};
+
+/// Plain-value snapshot of a profiler — what a response carries in
+/// RequestStats::profile and what the replay driver aggregates across a run.
+struct ProfileBreakdown {
+  /// Phase indices (QueryProfiler::Phase mirrors these).
+  enum Phase : int {
+    kSignature = 0,   ///< query canonicalization + catalog epoch read
+    kCacheProbe = 1,  ///< result-cache fingerprint + Begin/WaitForLeader
+    kSelectivity = 2, ///< selectivity ladder: store seeds, histograms, probes
+    kSearch = 3,      ///< strategy episode (QTE + agent); contains kSelectivity
+    kRender = 4,      ///< SQL rendering of the decided option
+    kPublish = 5,     ///< shared-store + result-cache publish-out
+  };
+  static constexpr int kNumPhases = 6;
+
+  static const char* PhaseName(int phase) {
+    switch (phase) {
+      case kSignature: return "signature";
+      case kCacheProbe: return "cache_probe";
+      case kSelectivity: return "selectivity";
+      case kSearch: return "search";
+      case kRender: return "render";
+      case kPublish: return "publish";
+      default: return "unknown";
+    }
+  }
+
+  ProfilePhaseStats phases[kNumPhases] = {};
+
+  double TotalMs(int phase) const { return phases[phase].total_ms; }
+
+  /// Phase time net of nested phases: kSearch minus the selectivity ladder
+  /// that ran inside it; every other phase is disjoint and self == total.
+  double SelfMs(int phase) const {
+    if (phase == kSearch) {
+      double self = phases[kSearch].total_ms - phases[kSelectivity].total_ms;
+      return self > 0.0 ? self : 0.0;
+    }
+    return phases[phase].total_ms;
+  }
+
+  /// Whole-request bill: the disjoint top-level phases summed (kSelectivity
+  /// excluded — it is already inside kSearch's total).
+  double TopLevelMs() const {
+    double sum = 0.0;
+    for (int p = 0; p < kNumPhases; ++p) {
+      if (p == kSelectivity) continue;
+      sum += phases[p].total_ms;
+    }
+    return sum;
+  }
+
+  double CachedMs() const {
+    double sum = 0.0;
+    for (const ProfilePhaseStats& p : phases) sum += p.cached_ms;
+    return sum;
+  }
+
+  double UncachedMs() const {
+    double uncached = TopLevelMs() - CachedMs();
+    return uncached > 0.0 ? uncached : 0.0;
+  }
+
+  ProfileBreakdown& operator+=(const ProfileBreakdown& other) {
+    for (int p = 0; p < kNumPhases; ++p) {
+      phases[p].total_ms += other.phases[p].total_ms;
+      phases[p].cached_ms += other.phases[p].cached_ms;
+      phases[p].count += other.phases[p].count;
+    }
+    return *this;
+  }
+};
+
+/// Request-scoped phase timer. Not thread-safe by design: a profiler belongs
+/// to exactly one in-flight request (it lives on the serve call's stack and
+/// is bound to that request's RewriteSession), the same ownership rule as
+/// the session itself.
+class QueryProfiler {
+ public:
+  using Phase = ProfileBreakdown::Phase;
+  static constexpr int kNumPhases = ProfileBreakdown::kNumPhases;
+  // Phase constants re-exported so call sites read QueryProfiler::kSearch.
+  static constexpr Phase kSignature = ProfileBreakdown::kSignature;
+  static constexpr Phase kCacheProbe = ProfileBreakdown::kCacheProbe;
+  static constexpr Phase kSelectivity = ProfileBreakdown::kSelectivity;
+  static constexpr Phase kSearch = ProfileBreakdown::kSearch;
+  static constexpr Phase kRender = ProfileBreakdown::kRender;
+  static constexpr Phase kPublish = ProfileBreakdown::kPublish;
+
+  /// Monotonic-milliseconds source. Injectable so tests can count (or fake)
+  /// clock reads; production uses WallClockMs.
+  using ClockFn = double (*)();
+
+  /// std::chrono::steady_clock in milliseconds (query_profiler.cc).
+  static double WallClockMs();
+
+  /// Disabled profiler: every operation is a no-op and the clock — there is
+  /// none — is provably never read.
+  QueryProfiler() = default;
+
+  /// Enabled profiler reading `clock`; pass enabled=false to construct the
+  /// off state with a clock wired up (the zero-overhead-when-disabled test).
+  explicit QueryProfiler(ClockFn clock, bool enabled = true)
+      : clock_(enabled ? clock : nullptr) {
+    assert(!enabled || clock != nullptr);
+  }
+
+  bool enabled() const { return clock_ != nullptr; }
+
+  /// Opens a span on `phase`. Requires the phase to be idle (phases do not
+  /// self-nest; distinct phases nest freely).
+  void StartTimer(int phase) {
+    if (clock_ == nullptr) return;
+    assert(!running_[phase] && "phase timer already running");
+    start_ms_[phase] = clock_();
+    running_[phase] = true;
+    ++phases_[phase].count;
+  }
+
+  /// Closes the span and returns its wall ms (0 when disabled) so callers
+  /// can re-attribute the same span, e.g. AddCachedMs on a cache hit.
+  double StopTimer(int phase) {
+    if (clock_ == nullptr) return 0.0;
+    assert(running_[phase] && "StopTimer on idle phase");
+    double span = clock_() - start_ms_[phase];
+    phases_[phase].total_ms += span;
+    running_[phase] = false;
+    return span;
+  }
+
+  /// Pauses a running span ("stopping guard" semantics): elapsed time is
+  /// banked, the span count is not re-incremented on Resume. Returns whether
+  /// there was a running span to pause (Resume only what was paused).
+  bool Pause(int phase) {
+    if (clock_ == nullptr || !running_[phase]) return false;
+    phases_[phase].total_ms += clock_() - start_ms_[phase];
+    running_[phase] = false;
+    return true;
+  }
+
+  void Resume(int phase) {
+    if (clock_ == nullptr) return;
+    assert(!running_[phase] && "Resume on running phase");
+    start_ms_[phase] = clock_();
+    running_[phase] = true;
+  }
+
+  /// Re-attributes `ms` of this phase's bill as inherited work (shared-store
+  /// seeds, result-cache replays). No clock read; no-op when disabled.
+  void AddCachedMs(int phase, double ms) {
+    if (clock_ == nullptr) return;
+    phases_[phase].cached_ms += ms;
+  }
+
+  /// Folds another profiler's closed spans into this one ("running guard"
+  /// semantics: a child profiler measures a sub-operation, the parent
+  /// absorbs it on scope exit). Pure arithmetic — never reads a clock.
+  QueryProfiler& operator+=(const QueryProfiler& other) {
+    for (int p = 0; p < kNumPhases; ++p) {
+      assert(!other.running_[p] && "folding a profiler with a running span");
+      phases_[p].total_ms += other.phases_[p].total_ms;
+      phases_[p].cached_ms += other.phases_[p].cached_ms;
+      phases_[p].count += other.phases_[p].count;
+    }
+    return *this;
+  }
+
+  /// Value snapshot of the closed spans (running spans are not included —
+  /// take the snapshot after the guards have unwound).
+  ProfileBreakdown Snapshot() const {
+    ProfileBreakdown out;
+    for (int p = 0; p < kNumPhases; ++p) out.phases[p] = phases_[p];
+    return out;
+  }
+
+ private:
+  ClockFn clock_ = nullptr;  // nullptr == disabled
+  ProfilePhaseStats phases_[kNumPhases] = {};
+  double start_ms_[kNumPhases] = {};
+  bool running_[kNumPhases] = {};
+};
+
+/// Simple guard: StartTimer on construction, StopTimer on destruction.
+/// Null-safe — `profiler == nullptr` (profiling off for this request) makes
+/// the whole guard a no-op, so instrumented code needs no branches.
+class ProfilerSimpleGuard {
+ public:
+  ProfilerSimpleGuard(QueryProfiler* profiler, int phase)
+      : profiler_(profiler), phase_(phase) {
+    if (profiler_ != nullptr) profiler_->StartTimer(phase_);
+  }
+  ~ProfilerSimpleGuard() {
+    if (profiler_ != nullptr) profiler_->StopTimer(phase_);
+  }
+  ProfilerSimpleGuard(const ProfilerSimpleGuard&) = delete;
+  ProfilerSimpleGuard& operator=(const ProfilerSimpleGuard&) = delete;
+
+ private:
+  QueryProfiler* profiler_;
+  int phase_;
+};
+
+/// Stopping guard: excludes its scope from a running phase span (pause on
+/// construction, resume on destruction). Used around work that must not be
+/// billed to the enclosing phase — e.g. a lazy strategy build (training!)
+/// inside the search phase. Null-safe, and a no-op when the phase was not
+/// running.
+class ProfilerStoppingGuard {
+ public:
+  ProfilerStoppingGuard(QueryProfiler* profiler, int phase)
+      : profiler_(profiler), phase_(phase) {
+    paused_ = profiler_ != nullptr && profiler_->Pause(phase_);
+  }
+  ~ProfilerStoppingGuard() {
+    if (paused_) profiler_->Resume(phase_);
+  }
+  ProfilerStoppingGuard(const ProfilerStoppingGuard&) = delete;
+  ProfilerStoppingGuard& operator=(const ProfilerStoppingGuard&) = delete;
+
+ private:
+  QueryProfiler* profiler_;
+  int phase_;
+  bool paused_ = false;
+};
+
+/// Running guard: a child profiler accounts a sub-operation while the
+/// parent's `phase` is paused; on scope exit the child's closed spans fold
+/// into the parent (operator+=) and the parent's span resumes. The child
+/// must have closed all its spans by then. Null-safe on the parent.
+class ProfilerRunningGuard {
+ public:
+  ProfilerRunningGuard(QueryProfiler* parent, int phase, QueryProfiler* child)
+      : parent_(parent), phase_(phase), child_(child) {
+    paused_ = parent_ != nullptr && parent_->Pause(phase_);
+  }
+  ~ProfilerRunningGuard() {
+    if (parent_ != nullptr && child_ != nullptr) *parent_ += *child_;
+    if (paused_) parent_->Resume(phase_);
+  }
+  ProfilerRunningGuard(const ProfilerRunningGuard&) = delete;
+  ProfilerRunningGuard& operator=(const ProfilerRunningGuard&) = delete;
+
+ private:
+  QueryProfiler* parent_;
+  int phase_;
+  QueryProfiler* child_;
+  bool paused_ = false;
+};
+
+}  // namespace maliva
+
+#endif  // MALIVA_UTIL_QUERY_PROFILER_H_

@@ -1,0 +1,58 @@
+// Seeded open-loop arrival schedule generation.
+//
+// Promoted out of bench/bench_common.h (ISSUE 9) so the overload benches and
+// the trace-replay driver (src/workload/trace.h) share one implementation of
+// the paper's load model: Poisson arrivals at a configured rate, with the
+// schedule fixed before any request is served.
+
+#ifndef MALIVA_WORKLOAD_ARRIVAL_H_
+#define MALIVA_WORKLOAD_ARRIVAL_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace maliva {
+
+/// Seeded open-loop arrival process: i.i.d. exponential gaps at `rate_qps`,
+/// i.e. Poisson arrivals. Timestamps are purely virtual offsets from an
+/// arbitrary origin — the generator never reads the wall clock, so a given
+/// (rate, seed) pair replays the identical arrival trace on every run and on
+/// every machine; the *driver* decides how (or whether) to map offsets onto
+/// real time. This is what makes overload benches open-loop: arrivals keep
+/// their schedule no matter how far behind the server falls, instead of the
+/// closed-loop pattern where a slow server politely throttles its own load.
+class ArrivalGenerator {
+ public:
+  ArrivalGenerator(double rate_qps, uint64_t seed)
+      : rate_per_ms_(rate_qps / 1000.0), rng_(seed) {}
+
+  /// Next arrival offset in virtual ms; strictly monotone non-decreasing.
+  double NextMs() {
+    next_ms_ += rng_.Exponential(rate_per_ms_);
+    return next_ms_;
+  }
+
+  /// Re-aims the process at a new rate mid-schedule without disturbing the
+  /// random stream's seeding; the next gap is drawn at the new rate from the
+  /// current offset. This is how the trace builder ramps load.
+  void SetRateQps(double rate_qps) { rate_per_ms_ = rate_qps / 1000.0; }
+
+  /// Jumps the current offset forward to `offset_ms` (idle gap between trace
+  /// phases). Offsets only move forward; a smaller value is ignored.
+  void AdvanceTo(double offset_ms) {
+    if (offset_ms > next_ms_) next_ms_ = offset_ms;
+  }
+
+  /// Current offset (the last arrival handed out, or 0 before the first).
+  double CurrentMs() const { return next_ms_; }
+
+ private:
+  double rate_per_ms_;
+  Rng rng_;
+  double next_ms_ = 0.0;
+};
+
+}  // namespace maliva
+
+#endif  // MALIVA_WORKLOAD_ARRIVAL_H_

@@ -1,0 +1,159 @@
+// Versioned, seed-stamped request traces for the replay driver (ISSUE 9).
+//
+// A Trace is a timestamped load curve the serving stack can be measured —
+// and regression-tested — under: each record is (arrival offset, stream,
+// query index), where the stream table carries the request shape (scenario
+// routing key, strategy, per-request tau, quality floor) and the interleave
+// weight. Arrival offsets are *virtual* ms from the trace origin, in the
+// ArrivalGenerator tradition: a trace never contains wall-clock readings, so
+// the same trace bytes replay the same schedule on every machine, and the
+// replay driver decides how (or whether) to map offsets onto real time.
+//
+// Traces come from two places:
+//   * generators — TraceBuilder synthesizes steady / ramp / flash-burst /
+//     drift phases from a seeded schedule, interleaving multiple streams by
+//     smooth weighted round-robin (deterministic: per-stream record counts
+//     match the mix spec exactly, not just in expectation);
+//   * recording — Trace::Record interns one served request at a time, so a
+//     live request stream can be captured and replayed later.
+//
+// The serialized form ("maliva-trace v1", line-based, %.17g doubles for
+// exact round-trips) is stable enough to commit: tests/data/ holds a golden
+// trace whose replayed response digests are the repo's end-to-end
+// regression baseline.
+
+#ifndef MALIVA_WORKLOAD_TRACE_H_
+#define MALIVA_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "workload/arrival.h"
+
+namespace maliva {
+
+/// One request stream of a trace: the shape every record pointing at it
+/// shares. Sentinels keep the struct POD-serializable: empty scenario routes
+/// like RewriteRequest::scenario (sole shard), empty strategy serves the
+/// service default, tau_ms <= 0 and quality_floor < 0 mean "unset".
+struct TraceStream {
+  std::string scenario;
+  std::string strategy;
+  double tau_ms = 0.0;
+  double quality_floor = -1.0;
+  /// Interleave share for generated traces: a weight-2 stream receives
+  /// twice the records of a weight-1 stream (exactly, via smooth WRR).
+  double weight = 1.0;
+  /// Query-index domain [0, num_queries) records of this stream draw from;
+  /// the replay driver maps indices onto the scenario's evaluation split
+  /// (mod its size), so a trace stays valid across workload sizes.
+  uint32_t num_queries = 1;
+};
+
+/// One request of a trace.
+struct TraceRecord {
+  double arrival_ms = 0.0;  ///< virtual offset from the trace origin
+  uint32_t stream = 0;      ///< index into Trace::streams
+  uint32_t query_index = 0; ///< index into the stream's query domain
+};
+
+/// A versioned, seed-stamped request trace.
+struct Trace {
+  static constexpr int kFormatVersion = 1;
+
+  std::string name;
+  /// Seed the trace was generated under (0 for recorded traces) — stamped
+  /// into the serialized form so a golden file documents its provenance.
+  uint64_t seed = 0;
+  std::vector<TraceStream> streams;
+  std::vector<TraceRecord> records;
+
+  /// Records one served request, interning its shape into the stream table
+  /// (streams match on scenario + strategy + tau + floor). Arrivals must be
+  /// appended in non-decreasing order (Validate enforces it).
+  void Record(double arrival_ms, const std::string& scenario,
+              const std::string& strategy, double tau_ms, double quality_floor,
+              uint32_t query_index);
+
+  /// Structural checks: finite non-decreasing arrivals, stream indices in
+  /// range, positive finite weights, num_queries covering every record's
+  /// query_index, and whitespace-free scenario/strategy ids (the line-based
+  /// format is token-delimited; a literal "-" id is also rejected — it is
+  /// the serialized sentinel for empty).
+  Status Validate() const;
+
+  /// Line-based text form (stable across platforms; doubles as %.17g so
+  /// Deserialize(Serialize()) reproduces the trace bit-exactly).
+  std::string Serialize() const;
+  static Result<Trace> Deserialize(const std::string& text);
+
+  Status SaveTo(const std::string& path) const;
+  static Result<Trace> LoadFrom(const std::string& path);
+
+  /// Record counts by stream index (the mix a generated trace realized).
+  std::vector<size_t> RecordsPerStream() const;
+  /// Record counts by scenario id (streams sharing a scenario sum).
+  std::map<std::string, size_t> RecordsPerScenario() const;
+
+  /// Last arrival offset (0 for an empty trace) — the trace's virtual span.
+  double DurationMs() const {
+    return records.empty() ? 0.0 : records.back().arrival_ms;
+  }
+};
+
+/// Synthesizes traces from seeded schedules. Phases append records in
+/// arrival order; streams must all be added before the first phase. Every
+/// random draw (arrival gaps, query choice) comes from one Rng seeded at
+/// construction, so a given (streams, phases, seed) synthesis is
+/// byte-reproducible; stream interleave is deterministic smooth weighted
+/// round-robin, so per-stream counts match the weights exactly (within one
+/// record), not just in expectation.
+class TraceBuilder {
+ public:
+  TraceBuilder(std::string name, uint64_t seed);
+
+  TraceBuilder& AddStream(TraceStream stream);
+
+  /// Poisson arrivals at a fixed rate.
+  TraceBuilder& SteadyPhase(double rate_qps, size_t count);
+
+  /// Poisson arrivals with the rate interpolated linearly from start to end
+  /// across the phase's records.
+  TraceBuilder& RampPhase(double start_qps, double end_qps, size_t count);
+
+  /// Flash burst: `count` records all arriving at the current offset —
+  /// back-to-back, zero gap (the overload bench's queue-overflow pattern).
+  TraceBuilder& BurstPhase(size_t count);
+
+  /// Steady arrivals whose *query popularity* drifts: each stream's draws
+  /// slide through a half-domain window from the front of its query domain
+  /// to the back across the phase — the workload-shift pattern the online
+  /// learning plane exists for.
+  TraceBuilder& DriftPhase(double rate_qps, size_t count);
+
+  /// Idle gap: the next phase starts `ms` after the current offset.
+  TraceBuilder& GapMs(double ms);
+
+  /// Moves the synthesized trace out; the builder is spent afterwards.
+  Trace Build();
+
+ private:
+  /// Smooth weighted round-robin: highest-credit stream wins (ties to the
+  /// lowest index), winner pays the total weight back.
+  size_t PickStream();
+
+  void Append(double arrival_ms, double phase_frac, bool drift);
+
+  Trace trace_;
+  Rng rng_;
+  ArrivalGenerator arrivals_;
+  std::vector<double> credits_;
+  bool spent_ = false;
+};
+
+}  // namespace maliva
+
+#endif  // MALIVA_WORKLOAD_TRACE_H_

@@ -1,0 +1,205 @@
+// QueryProfiler unit tests (ISSUE 9): guard semantics, aggregation, and the
+// zero-overhead-when-disabled contract, all on an injected counting clock so
+// every expectation is exact (no real timers, no flakiness).
+
+#include "util/query_profiler.h"
+
+#include <gtest/gtest.h>
+
+namespace maliva {
+namespace {
+
+// Injected clock: advances 1ms per read and counts its reads, so tests can
+// assert both exact span arithmetic and "the off path never reads a clock".
+int64_t g_clock_reads = 0;
+double CountingClock() { return static_cast<double>(g_clock_reads++); }
+
+class QueryProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { g_clock_reads = 0; }
+};
+
+TEST_F(QueryProfilerTest, DisabledProfilerNeverReadsClock) {
+  QueryProfiler off(&CountingClock, /*enabled=*/false);
+  EXPECT_FALSE(off.enabled());
+  off.StartTimer(QueryProfiler::kSearch);
+  EXPECT_EQ(off.StopTimer(QueryProfiler::kSearch), 0.0);
+  EXPECT_FALSE(off.Pause(QueryProfiler::kSearch));
+  off.Resume(QueryProfiler::kSearch);
+  off.AddCachedMs(QueryProfiler::kSearch, 5.0);
+  {
+    ProfilerSimpleGuard guard(&off, QueryProfiler::kSignature);
+    ProfilerStoppingGuard stopping(&off, QueryProfiler::kSignature);
+  }
+  ProfileBreakdown snap = off.Snapshot();
+  for (int p = 0; p < ProfileBreakdown::kNumPhases; ++p) {
+    EXPECT_EQ(snap.phases[p].total_ms, 0.0);
+    EXPECT_EQ(snap.phases[p].cached_ms, 0.0);
+    EXPECT_EQ(snap.phases[p].count, 0u);
+  }
+  EXPECT_EQ(g_clock_reads, 0) << "disabled profiler read the clock";
+}
+
+TEST_F(QueryProfilerTest, DefaultConstructedIsDisabled) {
+  QueryProfiler off;
+  EXPECT_FALSE(off.enabled());
+  off.StartTimer(QueryProfiler::kRender);
+  EXPECT_EQ(off.StopTimer(QueryProfiler::kRender), 0.0);
+}
+
+TEST_F(QueryProfilerTest, NullProfilerGuardsAreNoOps) {
+  // The serve path's convention: profiling off = null pointer, guards no-op.
+  ProfilerSimpleGuard simple(nullptr, QueryProfiler::kSearch);
+  ProfilerStoppingGuard stopping(nullptr, QueryProfiler::kSearch);
+  ProfilerRunningGuard running(nullptr, QueryProfiler::kSearch, nullptr);
+  EXPECT_EQ(g_clock_reads, 0);
+}
+
+TEST_F(QueryProfilerTest, SimpleGuardMeasuresExactSpan) {
+  QueryProfiler prof(&CountingClock);
+  {
+    ProfilerSimpleGuard guard(&prof, QueryProfiler::kSignature);
+    // Clock read once at start; the next read (at stop) is 1ms later.
+  }
+  ProfileBreakdown snap = prof.Snapshot();
+  EXPECT_EQ(snap.phases[QueryProfiler::kSignature].total_ms, 1.0);
+  EXPECT_EQ(snap.phases[QueryProfiler::kSignature].count, 1u);
+  EXPECT_EQ(g_clock_reads, 2);
+}
+
+TEST_F(QueryProfilerTest, StopTimerReturnsSpanForReattribution) {
+  QueryProfiler prof(&CountingClock);
+  prof.StartTimer(QueryProfiler::kCacheProbe);
+  double span = prof.StopTimer(QueryProfiler::kCacheProbe);
+  EXPECT_EQ(span, 1.0);
+  prof.AddCachedMs(QueryProfiler::kCacheProbe, span);
+  ProfileBreakdown snap = prof.Snapshot();
+  EXPECT_EQ(snap.phases[QueryProfiler::kCacheProbe].total_ms, 1.0);
+  EXPECT_EQ(snap.phases[QueryProfiler::kCacheProbe].cached_ms, 1.0);
+}
+
+TEST_F(QueryProfilerTest, DistinctPhasesNest) {
+  QueryProfiler prof(&CountingClock);
+  prof.StartTimer(QueryProfiler::kSearch);        // t=0
+  prof.StartTimer(QueryProfiler::kSelectivity);   // t=1
+  prof.StopTimer(QueryProfiler::kSelectivity);    // t=2 -> ladder 1ms
+  prof.StopTimer(QueryProfiler::kSearch);         // t=3 -> search 3ms
+  ProfileBreakdown snap = prof.Snapshot();
+  EXPECT_EQ(snap.TotalMs(QueryProfiler::kSearch), 3.0);
+  EXPECT_EQ(snap.TotalMs(QueryProfiler::kSelectivity), 1.0);
+  // Self time subtracts the nested ladder back out.
+  EXPECT_EQ(snap.SelfMs(QueryProfiler::kSearch), 2.0);
+  EXPECT_EQ(snap.SelfMs(QueryProfiler::kSelectivity), 1.0);
+  // Top-level bill counts the ladder once (inside search).
+  EXPECT_EQ(snap.TopLevelMs(), 3.0);
+}
+
+TEST_F(QueryProfilerTest, StoppingGuardExcludesItsScope) {
+  QueryProfiler prof(&CountingClock);
+  prof.StartTimer(QueryProfiler::kSearch);  // t=0
+  {
+    ProfilerStoppingGuard pause(&prof, QueryProfiler::kSearch);  // banks t=1-0
+    // 0 reads here belong to kSearch.
+  }                                          // resumes at t=2
+  prof.StopTimer(QueryProfiler::kSearch);    // t=3: banks another 1ms
+  ProfileBreakdown snap = prof.Snapshot();
+  EXPECT_EQ(snap.TotalMs(QueryProfiler::kSearch), 2.0);
+  // Pause/Resume does not double-count the span.
+  EXPECT_EQ(snap.phases[QueryProfiler::kSearch].count, 1u);
+}
+
+TEST_F(QueryProfilerTest, StoppingGuardIsNoOpWhenPhaseIdle) {
+  QueryProfiler prof(&CountingClock);
+  {
+    ProfilerStoppingGuard pause(&prof, QueryProfiler::kSearch);
+  }
+  EXPECT_EQ(prof.Snapshot().TotalMs(QueryProfiler::kSearch), 0.0);
+  EXPECT_EQ(g_clock_reads, 0);
+}
+
+TEST_F(QueryProfilerTest, RunningGuardFoldsChildIntoParent) {
+  QueryProfiler parent(&CountingClock);
+  QueryProfiler child(&CountingClock);
+  parent.StartTimer(QueryProfiler::kSearch);  // t=0
+  {
+    ProfilerRunningGuard fold(&parent, QueryProfiler::kSearch, &child);  // pause t=1
+    child.StartTimer(QueryProfiler::kSelectivity);  // t=2
+    child.StopTimer(QueryProfiler::kSelectivity);   // t=3
+  }  // folds child, resumes parent at t=4
+  parent.StopTimer(QueryProfiler::kSearch);  // t=5
+  ProfileBreakdown snap = parent.Snapshot();
+  // Search saw 1ms before the pause + 1ms after the resume.
+  EXPECT_EQ(snap.TotalMs(QueryProfiler::kSearch), 2.0);
+  // The child's ladder span arrived via operator+=.
+  EXPECT_EQ(snap.TotalMs(QueryProfiler::kSelectivity), 1.0);
+  EXPECT_EQ(snap.phases[QueryProfiler::kSelectivity].count, 1u);
+}
+
+TEST_F(QueryProfilerTest, OperatorPlusEqualsAggregates) {
+  QueryProfiler a(&CountingClock);
+  QueryProfiler b(&CountingClock);
+  a.StartTimer(QueryProfiler::kRender);
+  a.StopTimer(QueryProfiler::kRender);
+  b.StartTimer(QueryProfiler::kRender);
+  b.StopTimer(QueryProfiler::kRender);
+  b.AddCachedMs(QueryProfiler::kRender, 0.5);
+  int64_t reads_before = g_clock_reads;
+  a += b;
+  EXPECT_EQ(g_clock_reads, reads_before) << "operator+= must be pure arithmetic";
+  ProfileBreakdown snap = a.Snapshot();
+  EXPECT_EQ(snap.TotalMs(QueryProfiler::kRender), 2.0);
+  EXPECT_EQ(snap.phases[QueryProfiler::kRender].cached_ms, 0.5);
+  EXPECT_EQ(snap.phases[QueryProfiler::kRender].count, 2u);
+}
+
+TEST_F(QueryProfilerTest, BreakdownOperatorPlusEquals) {
+  ProfileBreakdown a;
+  a.phases[ProfileBreakdown::kSearch] = {3.0, 1.0, 2};
+  ProfileBreakdown b;
+  b.phases[ProfileBreakdown::kSearch] = {2.0, 0.5, 1};
+  b.phases[ProfileBreakdown::kRender] = {1.0, 0.0, 1};
+  a += b;
+  EXPECT_EQ(a.phases[ProfileBreakdown::kSearch].total_ms, 5.0);
+  EXPECT_EQ(a.phases[ProfileBreakdown::kSearch].cached_ms, 1.5);
+  EXPECT_EQ(a.phases[ProfileBreakdown::kSearch].count, 3u);
+  EXPECT_EQ(a.phases[ProfileBreakdown::kRender].total_ms, 1.0);
+}
+
+TEST_F(QueryProfilerTest, CachedVsUncachedAttribution) {
+  ProfileBreakdown bd;
+  bd.phases[ProfileBreakdown::kCacheProbe] = {2.0, 2.0, 1};  // all inherited
+  bd.phases[ProfileBreakdown::kSearch] = {6.0, 0.0, 1};
+  bd.phases[ProfileBreakdown::kSelectivity] = {2.0, 1.0, 4};  // half seeded
+  EXPECT_EQ(bd.CachedMs(), 3.0);
+  // Top level = probe 2 + search 6 (ladder nested); uncached = 8 - 3.
+  EXPECT_EQ(bd.TopLevelMs(), 8.0);
+  EXPECT_EQ(bd.UncachedMs(), 5.0);
+}
+
+TEST_F(QueryProfilerTest, SelfMsClampsWhenLadderRanOutsideSearch) {
+  // A session pre-seed bills kSelectivity with no enclosing kSearch span;
+  // self time must clamp at zero instead of going negative.
+  ProfileBreakdown bd;
+  bd.phases[ProfileBreakdown::kSelectivity] = {4.0, 4.0, 8};
+  bd.phases[ProfileBreakdown::kSearch] = {1.0, 0.0, 1};
+  EXPECT_EQ(bd.SelfMs(ProfileBreakdown::kSearch), 0.0);
+}
+
+TEST_F(QueryProfilerTest, WallClockMsIsMonotone) {
+  double a = QueryProfiler::WallClockMs();
+  double b = QueryProfiler::WallClockMs();
+  EXPECT_GE(b, a);
+}
+
+TEST_F(QueryProfilerTest, PhaseNamesAreStable) {
+  // BENCH_replay.json and docs key on these strings.
+  EXPECT_STREQ(ProfileBreakdown::PhaseName(ProfileBreakdown::kSignature), "signature");
+  EXPECT_STREQ(ProfileBreakdown::PhaseName(ProfileBreakdown::kCacheProbe), "cache_probe");
+  EXPECT_STREQ(ProfileBreakdown::PhaseName(ProfileBreakdown::kSelectivity), "selectivity");
+  EXPECT_STREQ(ProfileBreakdown::PhaseName(ProfileBreakdown::kSearch), "search");
+  EXPECT_STREQ(ProfileBreakdown::PhaseName(ProfileBreakdown::kRender), "render");
+  EXPECT_STREQ(ProfileBreakdown::PhaseName(ProfileBreakdown::kPublish), "publish");
+}
+
+}  // namespace
+}  // namespace maliva
