@@ -239,10 +239,19 @@ int Run(const ReplayBenchOptions& opts) {
                                              2.0 * capacity_qps, kBurstPre,
                                              kBurst, kTraceQueries)});
   std::vector<ReplayReport> load_reports;
+  std::vector<std::vector<SloStatus>> load_slo;
   for (LoadPhase& phase : phases) {
     // Fresh fleet per phase: each report starts from a cold gate (EWMA and
-    // queue state do not leak across phases).
-    MalivaFleet gated(FleetConfig(base_cfg).WithAdmission(admission));
+    // queue state do not leak across phases). The metrics plane + SLO
+    // watchdog ride along (ISSUE 10): the load phases are exactly the burn
+    // signal the watchdog exists to flag.
+    FleetConfig gated_cfg = FleetConfig(base_cfg).WithAdmission(admission);
+    gated_cfg.defaults.WithMetrics(true);
+    gated_cfg.WithMetricsFlushMs(600000)  // flushed manually after the replay
+        .WithSloWatchdog(true)
+        .WithSloTargetHitRate(0.9)
+        .WithSloMinRequests(32);
+    MalivaFleet gated(gated_cfg);
     if (!gated.RegisterScenario("twitter", &twitter).ok()) return 1;
     if (!gated.RegisterScenario("tpch", &tpch).ok()) return 1;
     gated.WaitWarmups();
@@ -263,7 +272,17 @@ int Run(const ReplayBenchOptions& opts) {
                 phase.key, r.records, r.wall_seconds, r.ok, r.degraded,
                 r.shed_deadline, r.shed_overload, r.errors, r.p50_ms, r.p95_ms,
                 r.p99_ms);
+    gated.metrics_flusher()->FlushNow();
+    FleetStats stats = gated.Stats();
+    for (const SloStatus& slo : stats.slo) {
+      std::printf("  slo %-8s served %llu of %llu verdicts (hit rate %.3f) %s\n",
+                  slo.scenario.c_str(),
+                  static_cast<unsigned long long>(slo.served),
+                  static_cast<unsigned long long>(slo.total), slo.hit_rate,
+                  slo.breached ? "BREACHED" : "ok");
+    }
     load_reports.push_back(r);
+    load_slo.push_back(stats.slo);
   }
 
   // ---- Phase 3: profiled replay -----------------------------------------
@@ -304,6 +323,20 @@ int Run(const ReplayBenchOptions& opts) {
                  load_reports[i].ToJson().c_str());
   }
   std::fprintf(f, "    \"golden_profiled\": %s\n", profiled.ToJson().c_str());
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"slo\": {\n");
+  for (size_t i = 0; i < phases.size(); ++i) {
+    std::fprintf(f, "    \"%s\": [", phases[i].key);
+    for (size_t s = 0; s < load_slo[i].size(); ++s) {
+      const SloStatus& slo = load_slo[i][s];
+      std::fprintf(f,
+                   "%s{\"scenario\": \"%s\", \"hit_rate\": %.4f, "
+                   "\"breached\": %s}",
+                   s == 0 ? "" : ", ", slo.scenario.c_str(), slo.hit_rate,
+                   slo.breached ? "true" : "false");
+    }
+    std::fprintf(f, "]%s\n", i + 1 < phases.size() ? "," : "");
+  }
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -338,6 +371,20 @@ int Run(const ReplayBenchOptions& opts) {
   }
   if (burst.shed_overload == 0) {
     std::printf("CHECK FAILED: flash burst past max_queue shed nothing\n");
+    ok = false;
+  }
+  // ISSUE 10: the watchdog must flag the 2x-overload burn and stay quiet on
+  // the half-capacity steady phase.
+  bool steady_breached = false;
+  bool overload_breached = false;
+  for (const SloStatus& slo : load_slo[0]) steady_breached |= slo.breached;
+  for (const SloStatus& slo : load_slo[1]) overload_breached |= slo.breached;
+  if (steady_breached) {
+    std::printf("CHECK FAILED: SLO watchdog flagged the steady phase\n");
+    ok = false;
+  }
+  if (!overload_breached) {
+    std::printf("CHECK FAILED: SLO watchdog missed the 2x overload burn\n");
     ok = false;
   }
   if (profiled.profiled != profiled.records ||

@@ -79,29 +79,39 @@ cmake -B build -S . -DMALIVA_SERVICE_WERROR=ON
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
-# Overload-plane smoke: a seconds-scale bench_overload run must pass its own
-# acceptance checks (nonzero shed + degrade, admitted p95 inside the budget)
-# and emit parseable JSON.
-echo "== overload smoke: bench_overload --smoke =="
-./build/bench_overload --smoke --out build/BENCH_admission.json
-if command -v python3 >/dev/null 2>&1; then
-  python3 -c "import json; json.load(open('build/BENCH_admission.json'))" \
-    || { echo "BENCH_admission.json is not valid JSON" >&2; exit 1; }
-  echo "BENCH_admission.json parses as JSON"
-else
-  echo "python3 unavailable; skipping JSON validation"
-fi
+# One bench smoke leg: run `./build/<bench> --smoke --out build/<json>` (the
+# binary's own acceptance checks gate the exit code), then validate the
+# emitted JSON against the schema snippet fed on stdin (python3 source
+# reading the path from $BENCH_JSON; validation is skipped when python3 is
+# unavailable).
+run_bench_smoke() {
+  local title="$1" bench="$2" json="$3"
+  local schema
+  schema="$(cat)"
+  echo "== ${title}: ${bench} --smoke =="
+  "./build/${bench}" --smoke --out "build/${json}"
+  if command -v python3 >/dev/null 2>&1; then
+    BENCH_JSON="build/${json}" python3 -c "$schema" \
+      || { echo "${json} schema check failed" >&2; exit 1; }
+    echo "${json} schema OK"
+  else
+    echo "python3 unavailable; skipping JSON validation"
+  fi
+}
 
-# Selectivity-tier smoke: a seconds-scale bench_selectivity_tiers run must
-# pass its own acceptance checks (>=2x cold-serve speedup with the histogram
-# tier on, estimate error below the demotion threshold, rung-1 hits on the
-# warm pass) and emit JSON with the expected schema.
-echo "== selectivity-tier smoke: bench_selectivity_tiers --smoke =="
-./build/bench_selectivity_tiers --smoke --out build/BENCH_selectivity.json
-if command -v python3 >/dev/null 2>&1; then
-  python3 - <<'EOF' || { echo "BENCH_selectivity.json schema check failed" >&2; exit 1; }
-import json
-d = json.load(open('build/BENCH_selectivity.json'))
+# Overload-plane smoke: nonzero shed + degrade, admitted p95 inside the
+# budget (the binary's checks); the JSON must parse.
+run_bench_smoke "overload smoke" bench_overload BENCH_admission.json <<'EOF'
+import json, os
+json.load(open(os.environ['BENCH_JSON']))
+EOF
+
+# Selectivity-tier smoke: >=2x cold-serve speedup with the histogram tier
+# on, estimate error below the demotion threshold, rung-1 hits on the warm
+# pass.
+run_bench_smoke "selectivity-tier smoke" bench_selectivity_tiers BENCH_selectivity.json <<'EOF'
+import json, os
+d = json.load(open(os.environ['BENCH_JSON']))
 assert d['bench'] == 'bench_selectivity_tiers'
 for key in ('off_qps', 'on_qps', 'speedup', 'on_histogram_slots'):
     assert key in d['cold'], key
@@ -110,21 +120,12 @@ assert d['accuracy']['mean_abs_rel_error'] < d['accuracy']['demotion_threshold']
 for rung in ('shared', 'histogram', 'probe'):
     assert rung in d['ladder']['pass1'] and rung in d['ladder']['pass2'], rung
 EOF
-  echo "BENCH_selectivity.json schema OK"
-else
-  echo "python3 unavailable; skipping JSON validation"
-fi
 
-# Rewrite-cache smoke: a seconds-scale bench_rewrite_cache run must pass its
-# own acceptance checks (>=3x hot-stream speedup with the cache on, zero
-# hit/miss byte mismatches, single-flight + in-batch dedup coalescing) and
-# emit JSON with the expected schema.
-echo "== rewrite-cache smoke: bench_rewrite_cache --smoke =="
-./build/bench_rewrite_cache --smoke --out build/BENCH_rewrite_cache.json
-if command -v python3 >/dev/null 2>&1; then
-  python3 - <<'EOF' || { echo "BENCH_rewrite_cache.json schema check failed" >&2; exit 1; }
-import json
-d = json.load(open('build/BENCH_rewrite_cache.json'))
+# Rewrite-cache smoke: >=3x hot-stream speedup with the cache on, zero
+# hit/miss byte mismatches, single-flight + in-batch dedup coalescing.
+run_bench_smoke "rewrite-cache smoke" bench_rewrite_cache BENCH_rewrite_cache.json <<'EOF'
+import json, os
+d = json.load(open(os.environ['BENCH_JSON']))
 assert d['bench'] == 'bench_rewrite_cache'
 for key in ('off_qps', 'on_qps', 'speedup', 'hits', 'misses'):
     assert key in d['hot'], key
@@ -134,22 +135,14 @@ assert d['burst']['searches'] < d['burst']['threads']
 assert d['batch']['searches'] == 1
 assert d['batch']['replays'] == d['batch']['copies'] - 1
 EOF
-  echo "BENCH_rewrite_cache.json schema OK"
-else
-  echo "python3 unavailable; skipping JSON validation"
-fi
 
-# Replay smoke: a seconds-scale bench_replay run must pass its own
-# acceptance checks (golden-trace digests identical across thread counts and
+# Replay smoke: golden-trace digests identical across thread counts and
 # profiler/admission variants AND matching the committed tests/data goldens;
-# overload phase degrades + sheds; burst phase sheds on queue overflow) and
-# emit JSON with the expected schema.
-echo "== replay smoke: bench_replay --smoke =="
-./build/bench_replay --smoke --out build/BENCH_replay.json
-if command -v python3 >/dev/null 2>&1; then
-  python3 - <<'EOF' || { echo "BENCH_replay.json schema check failed" >&2; exit 1; }
-import json
-d = json.load(open('build/BENCH_replay.json'))
+# overload phase degrades + sheds (and trips the SLO watchdog, while the
+# steady phase does not); burst phase sheds on queue overflow.
+run_bench_smoke "replay smoke" bench_replay BENCH_replay.json <<'EOF'
+import json, os
+d = json.load(open(os.environ['BENCH_JSON']))
 assert d['bench'] == 'bench_replay'
 assert d['determinism']['match'] is True
 assert d['determinism']['golden'] == 'ok'
@@ -160,14 +153,26 @@ for phase in ('steady', 'overload_2x', 'flash_burst'):
 over = d['phases']['overload_2x']
 assert over['degraded'] + over['shed_overload'] + over['shed_deadline'] > 0
 assert d['phases']['flash_burst']['shed_overload'] > 0
+assert not any(s['breached'] for s in d['slo']['steady'])
+assert any(s['breached'] for s in d['slo']['overload_2x'])
 prof = d['phases']['golden_profiled']
 assert prof['profiled'] == prof['records'] > 0
 assert prof['profile_ms']['search'] > 0.0
 EOF
-  echo "BENCH_replay.json schema OK"
-else
-  echo "python3 unavailable; skipping JSON validation"
-fi
+
+# Metrics-plane smoke: zero registry lookups on the serve hot path, decision
+# byte-identity with metrics on, one flusher window carrying every serve,
+# exporters rendering the expected series, bounded trace-ring retention.
+run_bench_smoke "metrics-plane smoke" bench_metrics_plane BENCH_metrics.json <<'EOF'
+import json, os
+d = json.load(open(os.environ['BENCH_JSON']))
+assert d['bench'] == 'bench_metrics_plane'
+assert d['serve_lookups'] == 0
+assert d['bytes_identical'] is True
+assert d['window_requests'] == d['serves'] > 0
+assert d['prometheus_bytes'] > 0 and d['json_bytes'] > 0
+assert d['ring_appended'] >= d['ring_retained'] > 0
+EOF
 
 # Both sanitizer legs run the service + concurrency + fleet + admission
 # suites (which include the SharedSelectivityStore stress test, the shard
@@ -175,7 +180,7 @@ fi
 # serve-under-overload stress test) plus the selectivity-ladder suites —
 # training-heavy suites are slow under sanitizers and exercise no additional
 # threading or ownership.
-sanitizer_suites='Service|Concurrency|Fleet|Admission|Histogram|SelectivityTier|ResultCache|Replay|Profiler'
+sanitizer_suites='Service|Concurrency|Fleet|Admission|Histogram|SelectivityTier|ResultCache|Replay|Profiler|Metrics|TraceRing'
 
 if [[ "$run_tsan" == 1 ]]; then
   # TSan pass over the concurrent serving core: parallel ServeBatch, lazy

@@ -175,6 +175,11 @@ Status ServiceConfig::Validate() const {
           ")");
     }
   }
+  if (!metrics && !metrics_scenario.empty()) {
+    return Status::InvalidArgument(
+        "metrics_scenario requires metrics (the label has no registry to "
+        "stamp)");
+  }
   return Status::OK();
 }
 
@@ -248,6 +253,50 @@ MalivaService::MalivaService(Scenario* scenario, ServiceConfig config)
     trainer_config.background_threads = config_.online_trainer_threads;
     state_.continual_trainer = std::make_unique<ContinualTrainer>(
         state_.model_registry.get(), trainer_config);
+  }
+  if (config_status_.ok() && config_.metrics) {
+    // Resolve every hot-path handle exactly once, here: after construction
+    // the serve path records through raw pointers — zero registry map
+    // lookups per request (metrics_test asserts this via lookups()).
+    MetricLabels base;
+    if (!config_.metrics_scenario.empty()) {
+      base.emplace_back("scenario", config_.metrics_scenario);
+    }
+    metrics_registry_ = std::make_unique<MetricsRegistry>(std::move(base));
+    MetricsRegistry& reg = *metrics_registry_;
+    serve_metrics_.requests_ok =
+        reg.GetCounter("maliva_requests_total", {{"verdict", "ok"}});
+    serve_metrics_.requests_error =
+        reg.GetCounter("maliva_requests_total", {{"verdict", "error"}});
+    serve_metrics_.exact_fallbacks = reg.GetCounter("maliva_exact_fallbacks_total", {});
+    serve_metrics_.cache_hits =
+        reg.GetCounter("maliva_result_cache_total", {{"outcome", "hit"}});
+    serve_metrics_.cache_misses =
+        reg.GetCounter("maliva_result_cache_total", {{"outcome", "miss"}});
+    serve_metrics_.cache_coalesced =
+        reg.GetCounter("maliva_result_cache_total", {{"outcome", "coalesced"}});
+    serve_metrics_.tier_shared =
+        reg.GetCounter("maliva_selectivity_slots_total", {{"rung", "shared"}});
+    serve_metrics_.tier_histogram =
+        reg.GetCounter("maliva_selectivity_slots_total", {{"rung", "histogram"}});
+    serve_metrics_.tier_probe =
+        reg.GetCounter("maliva_selectivity_slots_total", {{"rung", "probe"}});
+    serve_metrics_.admission_admitted =
+        reg.GetCounter("maliva_admission_total", {{"verdict", "admitted"}});
+    serve_metrics_.admission_degraded =
+        reg.GetCounter("maliva_admission_total", {{"verdict", "degraded"}});
+    serve_metrics_.admission_shed_deadline =
+        reg.GetCounter("maliva_admission_total", {{"verdict", "shed_deadline"}});
+    serve_metrics_.admission_shed_overload =
+        reg.GetCounter("maliva_admission_total", {{"verdict", "shed_overload"}});
+    serve_metrics_.serve_latency = reg.GetHistogram("maliva_serve_latency_ms", {});
+    serve_metrics_.queue_wait = reg.GetHistogram("maliva_queue_wait_ms", {});
+    serve_metrics_.result_cache_entries =
+        reg.GetGauge("maliva_result_cache_entries", {});
+    serve_metrics_.shared_store_entries =
+        reg.GetGauge("maliva_shared_store_entries", {});
+    serve_metrics_.agent_snapshot_version =
+        reg.GetGauge("maliva_agent_snapshot_version", {});
   }
 }
 
@@ -557,7 +606,54 @@ std::optional<RewriteResponse> MalivaService::TryServeCached(
                        .count();
   resp.stats.serve_wall_ms = wall_ms;
   telemetry_.RecordServedCached(resp.exact_fallback, wall_ms);
+  RecordServedMetrics(resp, wall_ms);
   return resp;
+}
+
+uint64_t MalivaService::FingerprintRequest(const RewriteRequest& request) const {
+  // Cold-path mirror of TryServeCached's key derivation, minus the probe:
+  // the trace ring stamps this onto events so offline analysis can join a
+  // request's trace line against the result-cache decision context. 0 when
+  // the context is unresolvable (invalid request, misconfiguration, or a
+  // strategy not yet built — fingerprinting must never train one).
+  if (!config_status_.ok() || !ValidateRequest(request).ok()) return 0;
+  const std::string& name =
+      request.strategy.empty() ? config_.default_strategy : request.strategy;
+  const Rewriter* strategy = FindBuiltRewriter(name);
+  double tau = request.tau_ms.has_value() ? *request.tau_ms
+               : strategy != nullptr      ? strategy->default_tau_ms()
+                                          : scenario_->config.tau_ms;
+  CanonicalQuery canonical = Canonicalize(*request.query, signature_options_);
+  return MakeRequestFingerprint(canonical.signature, name, tau,
+                                request.quality_floor, fingerprint_options_)
+      .value;
+}
+
+void MalivaService::RecordServedMetrics(const RewriteResponse& response,
+                                        double wall_ms) const {
+  const ServeMetrics& m = serve_metrics_;
+  if (m.requests_ok == nullptr) return;  // metrics off — the only check paid
+  m.requests_ok->Increment();
+  m.serve_latency->Record(wall_ms);
+  if (response.exact_fallback) m.exact_fallbacks->Increment();
+  if (response.stats.result_cache_hit) {
+    m.cache_hits->Increment();
+    if (response.stats.result_cache_coalesced) m.cache_coalesced->Increment();
+    // A replayed decision did no selectivity work of its own (the template's
+    // rung split was billed when the original miss served).
+    return;
+  }
+  if (state_.result_cache != nullptr) m.cache_misses->Increment();
+  m.tier_shared->Increment(response.stats.selectivity_tier_hits[0]);
+  m.tier_histogram->Increment(response.stats.selectivity_tier_hits[1]);
+  m.tier_probe->Increment(response.stats.selectivity_tier_hits[2]);
+}
+
+void MalivaService::RecordErrorMetrics(double wall_ms) const {
+  const ServeMetrics& m = serve_metrics_;
+  if (m.requests_error == nullptr) return;
+  m.requests_error->Increment();
+  m.serve_latency->Record(wall_ms);
 }
 
 Result<RewriteResponse> MalivaService::ServeIndexed(const RewriteRequest& request,
@@ -585,8 +681,10 @@ Result<RewriteResponse> MalivaService::ServeIndexed(const RewriteRequest& reques
                               resp.stats.selectivity_tier_hits[2],
                               resp.exact_fallback, wall_ms);
     }
+    RecordServedMetrics(resp, wall_ms);
   } else {
     telemetry_.RecordError(wall_ms);
+    RecordErrorMetrics(wall_ms);
   }
   return result;
 }
@@ -850,6 +948,16 @@ ServiceStats MalivaService::Stats() const {
     stats.last_retrain_reward_pre = online.last_reward_pre;
     stats.last_retrain_reward_post = online.last_reward_post;
   }
+  // Gauge refresh (metrics on only): gauges mirror plane sizes at snapshot
+  // time, so they update where the sizes are read — Stats() and the fleet's
+  // flusher both route through here.
+  if (metrics_registry_ != nullptr) {
+    serve_metrics_.result_cache_entries->Set(
+        static_cast<int64_t>(stats.result_cache_size));
+    serve_metrics_.shared_store_entries->Set(static_cast<int64_t>(stats.store_size));
+    serve_metrics_.agent_snapshot_version->Set(
+        static_cast<int64_t>(stats.online_snapshot_version));
+  }
   return stats;
 }
 
@@ -946,6 +1054,7 @@ std::vector<Result<RewriteResponse>> MalivaService::ServeBatch(
       // The leader's error is this context's answer (identical requests fail
       // identically); replaying it keeps per-slot outcomes consistent.
       telemetry_.RecordError(0.0);
+      RecordErrorMetrics(0.0);
       slots[i] = led.status();
       continue;
     }
@@ -959,6 +1068,7 @@ std::vector<Result<RewriteResponse>> MalivaService::ServeBatch(
                          .count();
     resp.stats.serve_wall_ms = wall_ms;
     telemetry_.RecordServedCached(resp.exact_fallback, wall_ms);
+    RecordServedMetrics(resp, wall_ms);
     rcache->NoteCoalesced(1);
     slots[i] = std::move(resp);
   }

@@ -55,6 +55,7 @@
 #include "service/rewriter_factory.h"
 #include "service/serving_state.h"
 #include "service/serving_telemetry.h"
+#include "util/metrics.h"
 #include "util/status.h"
 #include "workload/scenario.h"
 
@@ -216,6 +217,20 @@ struct ServiceConfig {
   /// Profile every Nth request (1 = all). Must be >= 1 when profiling is on.
   size_t profile_sample_every = 1;
 
+  /// Metrics plane (DESIGN.md "Observability plane"). Off (the default): no
+  /// registry is constructed, the serve path holds one null-pointer check
+  /// per would-be record, and responses stay byte-identical to pre-metrics
+  /// behavior. On: the service owns a MetricsRegistry of labeled counters,
+  /// gauges, and latency histograms (serve latency, queue wait, cache/tier/
+  /// admission outcomes), with every handle pre-resolved at construction so
+  /// the hot path performs zero registry map lookups. Pure measurement —
+  /// nothing recorded ever feeds back into a decision.
+  bool metrics = false;
+  /// Value of the `scenario` base label stamped on every series (the fleet
+  /// sets this to the shard's routing key at registration). Empty = no
+  /// scenario label. Requires `metrics`.
+  std::string metrics_scenario;
+
   /// Upper bound Validate() accepts for num_threads.
   static constexpr size_t kMaxNumThreads = 4096;
 
@@ -367,6 +382,42 @@ struct ServiceConfig {
     profile_sample_every = every;
     return *this;
   }
+  ServiceConfig& WithMetrics(bool enabled) {
+    metrics = enabled;
+    return *this;
+  }
+  ServiceConfig& WithMetricsScenario(std::string scenario) {
+    metrics_scenario = std::move(scenario);
+    return *this;
+  }
+};
+
+/// Pre-resolved metric handles for the serve hot path (ISSUE 10): every
+/// pointer is resolved from the service's MetricsRegistry exactly once, at
+/// construction, so recording is relaxed atomic ops only — zero map lookups
+/// per request (provable via MetricsRegistry::lookups()). All null while
+/// ServiceConfig::metrics is off; the admission/queue-wait handles are
+/// recorded by the fleet's gate path (a shed request never reaches the
+/// shard's own serve path).
+struct ServeMetrics {
+  Counter* requests_ok = nullptr;       ///< maliva_requests_total{verdict="ok"}
+  Counter* requests_error = nullptr;    ///< maliva_requests_total{verdict="error"}
+  Counter* exact_fallbacks = nullptr;   ///< maliva_exact_fallbacks_total
+  Counter* cache_hits = nullptr;        ///< maliva_result_cache_total{outcome="hit"}
+  Counter* cache_misses = nullptr;      ///< maliva_result_cache_total{outcome="miss"}
+  Counter* cache_coalesced = nullptr;   ///< maliva_result_cache_total{outcome="coalesced"}
+  Counter* tier_shared = nullptr;       ///< maliva_selectivity_slots_total{rung="shared"}
+  Counter* tier_histogram = nullptr;    ///< maliva_selectivity_slots_total{rung="histogram"}
+  Counter* tier_probe = nullptr;        ///< maliva_selectivity_slots_total{rung="probe"}
+  Counter* admission_admitted = nullptr;       ///< maliva_admission_total{verdict="admitted"}
+  Counter* admission_degraded = nullptr;       ///< maliva_admission_total{verdict="degraded"}
+  Counter* admission_shed_deadline = nullptr;  ///< maliva_admission_total{verdict="shed_deadline"}
+  Counter* admission_shed_overload = nullptr;  ///< maliva_admission_total{verdict="shed_overload"}
+  LatencyHistogram* serve_latency = nullptr;   ///< maliva_serve_latency_ms
+  LatencyHistogram* queue_wait = nullptr;      ///< maliva_queue_wait_ms
+  Gauge* result_cache_entries = nullptr;       ///< maliva_result_cache_entries
+  Gauge* shared_store_entries = nullptr;       ///< maliva_shared_store_entries
+  Gauge* agent_snapshot_version = nullptr;     ///< maliva_agent_snapshot_version
 };
 
 /// One rewriting request.
@@ -502,6 +553,22 @@ class MalivaService {
   ContinualTrainer* online_trainer() const { return state_.continual_trainer.get(); }
   ModelRegistry* model_registry() const { return state_.model_registry.get(); }
 
+  /// Metrics plane accessors (null while ServiceConfig::metrics is off).
+  /// serve_metrics() hands out the pre-resolved handle struct so external
+  /// recorders (the fleet's gate path) never touch the registry map either.
+  MetricsRegistry* metrics_registry() const { return metrics_registry_.get(); }
+  const ServeMetrics* serve_metrics() const {
+    return metrics_registry_ == nullptr ? nullptr : &serve_metrics_;
+  }
+
+  /// Decision-context fingerprint of `request` — the same canonicalized
+  /// (signature, strategy, tau-bin) key the rewrite-result cache uses.
+  /// Returns 0 when the request is invalid, the service is misconfigured, or
+  /// the strategy is not yet built (never builds, never counts telemetry).
+  /// Cold-path only: the fleet stamps it onto TraceEvents when the trace
+  /// ring is enabled.
+  uint64_t FingerprintRequest(const RewriteRequest& request) const;
+
   Scenario* scenario() { return scenario_; }
   const Scenario* scenario() const { return scenario_; }
   const ServiceConfig& config() const { return config_; }
@@ -591,8 +658,20 @@ class MalivaService {
   /// Tau/floor binning of result-cache keys, derived from the config.
   FingerprintOptions fingerprint_options_;
 
+  /// Records the labeled serve-path metrics for one response (no-op while
+  /// metrics are off). Split from ServeIndexed so TryServeCached and the
+  /// replay phase of ServeBatch share the exact outcome classification.
+  void RecordServedMetrics(const RewriteResponse& response, double wall_ms) const;
+  void RecordErrorMetrics(double wall_ms) const;
+
   /// Serving counters behind Stats(); internally atomic.
   mutable ServingTelemetry telemetry_;
+
+  /// Metrics plane (ISSUE 10): constructed only when config_.metrics is on.
+  /// All serve_metrics_ handles resolve at construction — the serve path is
+  /// one null check plus relaxed atomics, zero registry lookups.
+  std::unique_ptr<MetricsRegistry> metrics_registry_;
+  ServeMetrics serve_metrics_;
 
   /// Guards mutation of `state_` (strategy builds, SetApproxRules). Reads
   /// of published entries take the shared side; entries are never removed,

@@ -30,6 +30,37 @@ Status FleetConfig::Validate() const {
         std::to_string(warmup_threads) + "; likely an unsigned wrap-around)");
   }
   MALIVA_RETURN_NOT_OK(admission.Validate());
+  if (metrics_flush_ms > 0 && !defaults.metrics) {
+    return Status::InvalidArgument(
+        "metrics_flush_ms requires defaults.metrics (there is no registry to "
+        "snapshot)");
+  }
+  if (slo_watchdog) {
+    if (metrics_flush_ms == 0) {
+      return Status::InvalidArgument(
+          "slo_watchdog requires metrics_flush_ms > 0 (the burn is evaluated "
+          "over the flusher's windows)");
+    }
+    if (!admission.enabled) {
+      return Status::InvalidArgument(
+          "slo_watchdog requires admission.enabled (it reads the gate's "
+          "verdict counters)");
+    }
+    if (!(slo_target_hit_rate > 0.0) || !(slo_target_hit_rate <= 1.0)) {
+      return Status::InvalidArgument(
+          "slo_target_hit_rate must be within (0, 1]");
+    }
+    if (slo_window_count == 0 || slo_window_count > 64) {
+      return Status::InvalidArgument(
+          "slo_window_count must be within [1, 64] (the flusher retains at "
+          "most 64 windows)");
+    }
+    if (slo_min_requests == 0) {
+      return Status::InvalidArgument(
+          "slo_min_requests must be >= 1 (0 would flag scenarios that served "
+          "nothing)");
+    }
+  }
   return Status::OK();
 }
 
@@ -92,6 +123,15 @@ MalivaFleet::MalivaFleet(FleetConfig config)
   if (config_status_.ok() && config_.admission.enabled) {
     admission_ = std::make_unique<AdmissionController>(config_.admission);
   }
+  if (config_status_.ok() && config_.trace_ring_capacity > 0) {
+    trace_ring_ = std::make_unique<TraceRing>(config_.trace_ring_capacity);
+  }
+  if (config_status_.ok() && config_.metrics_flush_ms > 0) {
+    // Constructed last: its thread starts immediately and snapshots the
+    // shard registries through `this`, so everything it reads exists first.
+    flusher_ = std::make_unique<MetricsFlusher>(
+        [this] { return SnapshotMetrics(); }, config_.metrics_flush_ms);
+  }
 }
 
 MalivaFleet::~MalivaFleet() = default;
@@ -132,6 +172,45 @@ double MalivaFleet::NowMs() const {
       .count();
 }
 
+void MalivaFleet::AppendTrace(const Shard& shard, const RewriteRequest& request,
+                              const char* verdict,
+                              const RewriteResponse* response,
+                              double queue_wait_ms) const {
+  if (trace_ring_ == nullptr) return;  // off: the one check every path pays
+  TraceEvent event;
+  event.scenario = shard.id;
+  event.verdict = verdict;
+  event.fingerprint = shard.service->FingerprintRequest(request);
+  event.queue_wait_ms = queue_wait_ms;
+  event.cache = "off";  // no response, or the shard serves without a cache
+  if (response != nullptr) {
+    const RequestStats& stats = response->stats;
+    if (shard.service->config().result_cache) {
+      event.cache = stats.result_cache_hit
+                        ? (stats.result_cache_coalesced ? "coalesced" : "hit")
+                        : "miss";
+    }
+    for (size_t rung = 0; rung < 3; ++rung) {
+      event.tier_hits[rung] =
+          static_cast<uint64_t>(stats.selectivity_tier_hits[rung]);
+    }
+    event.snapshot_version = stats.agent_snapshot_version;
+    event.serve_ms = stats.serve_wall_ms;
+  }
+  trace_ring_->Append(std::move(event));
+}
+
+MetricsSnapshot MalivaFleet::SnapshotMetrics() const {
+  MetricsSnapshot merged;
+  for (const std::shared_ptr<Shard>& shard : router_.List()) {
+    MetricsRegistry* registry = shard->service->metrics_registry();
+    if (registry == nullptr) continue;
+    (void)shard->service->Stats();  // refreshes the plane-size gauges
+    merged.MergeFrom(registry->Snapshot());
+  }
+  return merged;
+}
+
 Status MalivaFleet::RegisterScenario(const std::string& id, Scenario* scenario) {
   return RegisterScenario(id, scenario, nullptr);
 }
@@ -149,6 +228,12 @@ Status MalivaFleet::RegisterScenario(const std::string& id, Scenario* scenario,
   // a bad override is this registration's error, never a latent Serve error.
   ServiceConfig shard_config = config_.defaults;
   if (tune) tune(shard_config);
+  // Stamp the routing key as the shard's scenario label (after tune, so an
+  // explicit per-shard override wins; before Validate, which rejects a
+  // label without metrics).
+  if (shard_config.metrics && shard_config.metrics_scenario.empty()) {
+    shard_config.metrics_scenario = id;
+  }
   MALIVA_RETURN_NOT_OK(shard_config.Validate());
 
   auto shard = std::make_shared<Shard>(
@@ -244,6 +329,10 @@ void MalivaFleet::SubmitAdmitted(
   if (std::optional<RewriteResponse> cached =
           shard->service->TryServeCached(request)) {
     admission_->RecordDecision(shard->id, AdmissionDecision::kAdmit);
+    if (const ServeMetrics* sm = shard->service->serve_metrics()) {
+      sm->admission_admitted->Increment();
+    }
+    AppendTrace(*shard, request, "admitted", &*cached, /*queue_wait_ms=*/0.0);
     done(std::move(*cached));
     return;
   }
@@ -256,6 +345,14 @@ void MalivaFleet::SubmitAdmitted(
   if (decision == AdmissionDecision::kShedDeadline ||
       decision == AdmissionDecision::kShedOverload) {
     admission_->RecordDecision(shard->id, decision);
+    const bool deadline_shed = decision == AdmissionDecision::kShedDeadline;
+    if (const ServeMetrics* sm = shard->service->serve_metrics()) {
+      (deadline_shed ? sm->admission_shed_deadline : sm->admission_shed_overload)
+          ->Increment();
+    }
+    AppendTrace(*shard, request,
+                deadline_shed ? "shed_deadline" : "shed_overload",
+                /*response=*/nullptr, /*queue_wait_ms=*/0.0);
     done(AdmissionController::ShedStatus(decision, shard->id, arrival_ms,
                                          deadline_ms,
                                          scheduler.QueueDepth()));
@@ -279,12 +376,17 @@ void MalivaFleet::SubmitAdmitted(
     const double start_ms = NowMs();
     const double queue_wait_ms = std::max(0.0, start_ms - arrival_ms);
     admission_->RecordQueueWait(shard->id, queue_wait_ms);
+    const ServeMetrics* sm = shard->service->serve_metrics();
+    if (sm != nullptr) sm->queue_wait->Record(queue_wait_ms);
     if (start_ms >= deadline_ms) {
       // Dispatch-time recheck: the job aged out while queued. EDF makes this
       // the request that was *most* entitled to run, so everything behind it
       // is doomed too unless load lets up — shedding now still beats
       // spending a worker on an answer that already missed its budget.
       admission_->RecordDecision(shard->id, AdmissionDecision::kShedDeadline);
+      if (sm != nullptr) sm->admission_shed_deadline->Increment();
+      AppendTrace(*shard, effective, "shed_deadline", /*response=*/nullptr,
+                  queue_wait_ms);
       done(AdmissionController::ShedStatus(AdmissionDecision::kShedDeadline,
                                            shard->id, start_ms, deadline_ms,
                                            Scheduler().QueueDepth()));
@@ -294,10 +396,16 @@ void MalivaFleet::SubmitAdmitted(
         shard->service->ServeAt(effective, shard_index);
     admission_->RecordDecision(shard->id, decision);
     admission_->RecordServeMs(NowMs() - start_ms);
+    if (sm != nullptr) {
+      (degraded ? sm->admission_degraded : sm->admission_admitted)->Increment();
+    }
     if (response.ok()) {
       response.value().stats.degraded = degraded;
       response.value().stats.queue_wait_ms = queue_wait_ms;
     }
+    AppendTrace(*shard, effective,
+                response.ok() ? (degraded ? "degraded" : "admitted") : "error",
+                response.ok() ? &response.value() : nullptr, queue_wait_ms);
     done(std::move(response));
   };
   scheduler.Submit(std::move(job));
@@ -306,7 +414,13 @@ void MalivaFleet::SubmitAdmitted(
 Result<RewriteResponse> MalivaFleet::Serve(const RewriteRequest& request) const {
   Result<std::shared_ptr<Shard>> shard = Route(request.scenario);
   if (!shard.ok()) return shard.status();
-  if (admission_ == nullptr) return shard.value()->service->Serve(request);
+  if (admission_ == nullptr) {
+    Result<RewriteResponse> response = shard.value()->service->Serve(request);
+    AppendTrace(*shard.value(), request, response.ok() ? "fifo" : "error",
+                response.ok() ? &response.value() : nullptr,
+                /*queue_wait_ms=*/0.0);
+    return response;
+  }
 
   // Admission path: gate + scheduler, then block until the job (or its
   // inline shed) delivers. One-shot rendezvous owned by shared_ptr because
@@ -435,10 +549,15 @@ std::vector<Result<RewriteResponse>> MalivaFleet::ServeBatch(
   } else {
     // Serve phase: one fan-out over the shared fleet pool, all shards at
     // once.
-    auto serve_one = [&slots, &routed, &requests](size_t i) {
+    auto serve_one = [this, &slots, &routed, &requests](size_t i) {
       if (routed[i].shard == nullptr) return;  // routing error already recorded
       slots[i] =
           routed[i].shard->service->ServeAt(requests[i], routed[i].shard_index);
+      const Result<RewriteResponse>& response = *slots[i];
+      AppendTrace(*routed[i].shard, requests[i],
+                  response.ok() ? "fifo" : "error",
+                  response.ok() ? &response.value() : nullptr,
+                  /*queue_wait_ms=*/0.0);
     };
     if (std::min(ResolvedNumThreads(), requests.size()) <= 1) {
       for (size_t i = 0; i < requests.size(); ++i) serve_one(i);
@@ -485,6 +604,12 @@ FleetStats MalivaFleet::Stats() const {
       shard_stats.admission_shed_overload = gate.shed_overload;
       shard_stats.admission_queue_wait_ms_total = gate.queue_wait_ms_total;
     }
+    // Merge the shard's labeled metric series (the Stats() call above just
+    // refreshed its gauges); scenario labels keep shards distinguishable
+    // after the merge.
+    if (MetricsRegistry* registry = shard->service->metrics_registry()) {
+      stats.metrics.MergeFrom(registry->Snapshot());
+    }
     AccumulateInto(stats.totals, shard_stats);
     stats.shards.emplace_back(shard->id, std::move(shard_stats));
   }
@@ -499,6 +624,14 @@ FleetStats MalivaFleet::Stats() const {
     stats.admission.queue_wait_ms_total = totals.queue_wait_ms_total;
     stats.admission.queue_depth = Scheduler().QueueDepth();
     stats.admission.estimated_serve_ms = admission_->EstimatedServeMs();
+  }
+  if (config_.slo_watchdog && flusher_ != nullptr) {
+    SloConfig slo;
+    slo.enabled = true;
+    slo.target_hit_rate = config_.slo_target_hit_rate;
+    slo.window_count = config_.slo_window_count;
+    slo.min_requests = config_.slo_min_requests;
+    stats.slo = SloWatchdog(slo).Evaluate(flusher_->Windows());
   }
   return stats;
 }

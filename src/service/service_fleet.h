@@ -44,6 +44,8 @@
 
 #include "service/admission_controller.h"
 #include "service/shard_router.h"
+#include "service/trace_ring.h"
+#include "util/metrics.h"
 
 namespace maliva {
 
@@ -81,10 +83,31 @@ struct FleetConfig {
   /// admission.degrade_strategy (flagged in RewriteResponse::stats).
   AdmissionConfig admission;
 
+  /// Metrics flusher cadence (DESIGN.md "Observability plane"): with
+  /// defaults.metrics on and this > 0, a background thread snapshots the
+  /// merged per-shard registries every `metrics_flush_ms` and retains a
+  /// bounded ring of time-windowed deltas (the SLO watchdog's input;
+  /// MetricsFlusher::Windows() for operators). 0 (the default) = no thread.
+  size_t metrics_flush_ms = 0;
+  /// Trace-event ring capacity. 0 (the default) = no ring is constructed
+  /// and every serve path holds a single null check; > 0 = the fleet
+  /// appends one structured TraceEvent per completed request (FIFO and
+  /// admission paths alike), retaining the newest `trace_ring_capacity`.
+  size_t trace_ring_capacity = 0;
+  /// SLO watchdog (requires metrics_flush_ms > 0 and admission.enabled):
+  /// evaluates per-scenario deadline-hit-rate burn over the flusher's
+  /// newest slo_window_count windows; breaches surface in FleetStats::slo.
+  bool slo_watchdog = false;
+  double slo_target_hit_rate = 0.95;
+  size_t slo_window_count = 4;
+  uint64_t slo_min_requests = 32;
+
   /// Rejects fleet-level pathologies (thread-count wrap-arounds), any
-  /// defect in `defaults` (ServiceConfig::Validate()), and any bad
-  /// admission knob (AdmissionConfig::Validate()); checked once at fleet
-  /// construction, a failure surfaces from every Register/Serve call.
+  /// defect in `defaults` (ServiceConfig::Validate()), any bad admission
+  /// knob (AdmissionConfig::Validate()), and inconsistent observability
+  /// knobs (a flusher without metrics, a watchdog without a flusher or a
+  /// gate); checked once at fleet construction, a failure surfaces from
+  /// every Register/Serve call.
   Status Validate() const;
 
   FleetConfig& WithDefaults(ServiceConfig config) {
@@ -105,6 +128,30 @@ struct FleetConfig {
   }
   FleetConfig& WithAdmission(AdmissionConfig config) {
     admission = std::move(config);
+    return *this;
+  }
+  FleetConfig& WithMetricsFlushMs(size_t ms) {
+    metrics_flush_ms = ms;
+    return *this;
+  }
+  FleetConfig& WithTraceRingCapacity(size_t capacity) {
+    trace_ring_capacity = capacity;
+    return *this;
+  }
+  FleetConfig& WithSloWatchdog(bool enabled) {
+    slo_watchdog = enabled;
+    return *this;
+  }
+  FleetConfig& WithSloTargetHitRate(double rate) {
+    slo_target_hit_rate = rate;
+    return *this;
+  }
+  FleetConfig& WithSloWindowCount(size_t count) {
+    slo_window_count = count;
+    return *this;
+  }
+  FleetConfig& WithSloMinRequests(uint64_t requests) {
+    slo_min_requests = requests;
     return *this;
   }
 };
@@ -157,6 +204,14 @@ struct FleetStats {
   /// Per-shard snapshots, ordered by scenario id. With admission on, each
   /// row's admission_* fields carry that scenario's gate outcomes.
   std::vector<std::pair<std::string, ServiceStats>> shards;
+  /// Merged per-shard metric registries (empty while defaults.metrics is
+  /// off): every shard's labeled counters/gauges/histograms in one
+  /// snapshot, scenario label included, renderable via RenderPrometheus()/
+  /// RenderJson().
+  MetricsSnapshot metrics;
+  /// SLO watchdog verdicts over the flusher's newest windows, ordered by
+  /// scenario (empty while FleetConfig::slo_watchdog is off).
+  std::vector<SloStatus> slo;
 };
 
 /// Hosts many scenarios behind one facade. Thread safety mirrors the
@@ -256,6 +311,12 @@ class MalivaFleet {
 
   const FleetConfig& config() const { return config_; }
 
+  /// Observability plane accessors (null while the respective knob is off).
+  /// The ring's SnapshotEvents/ExportJsonLines and the flusher's
+  /// Windows()/FlushNow() are thread-safe.
+  const TraceRing* trace_ring() const { return trace_ring_.get(); }
+  MetricsFlusher* metrics_flusher() const { return flusher_.get(); }
+
  private:
   /// Resolves a routing key to a serveable shard (the Serve rules above).
   /// Failures count toward FleetStats::routing_errors.
@@ -273,6 +334,19 @@ class MalivaFleet {
 
   /// Wall ms since fleet construction — the admission/deadline timeline.
   double NowMs() const;
+
+  /// Appends one TraceEvent for a completed (or shed) request when the ring
+  /// is on; a single null check when it is off. `response` may be null
+  /// (shed, or the serve errored); `queue_wait_ms` is 0 off the admission
+  /// path.
+  void AppendTrace(const Shard& shard, const RewriteRequest& request,
+                   const char* verdict, const RewriteResponse* response,
+                   double queue_wait_ms) const;
+
+  /// Merged MetricsSnapshot across every registered shard's registry (an
+  /// empty snapshot while defaults.metrics is off) — the flusher's snapshot
+  /// fn and FleetStats::metrics.
+  MetricsSnapshot SnapshotMetrics() const;
 
   /// FleetConfig::num_threads with 0 resolved to hardware concurrency; the
   /// one source for both ServeBatch's sequential-path gate and the pool
@@ -293,6 +367,8 @@ class MalivaFleet {
   mutable std::atomic<uint64_t> routing_errors_{0};
   /// The overload gate; null while FleetConfig::admission is off.
   std::unique_ptr<AdmissionController> admission_;
+  /// Trace-event ring; null while trace_ring_capacity is 0.
+  std::unique_ptr<TraceRing> trace_ring_;
 
   mutable std::once_flag serve_pool_once_;
   mutable std::unique_ptr<ThreadPool> serve_pool_;
@@ -305,6 +381,10 @@ class MalivaFleet {
   /// `this`) before anything above goes away.
   mutable std::once_flag scheduler_once_;
   mutable std::unique_ptr<DeadlineScheduler> scheduler_;
+  /// Declared after the scheduler: its background thread snapshots the
+  /// router's shard registries, so it must join before the router (and
+  /// everything else it reads through `this`) is destroyed.
+  std::unique_ptr<MetricsFlusher> flusher_;
 };
 
 }  // namespace maliva

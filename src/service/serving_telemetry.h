@@ -17,6 +17,7 @@
 #define MALIVA_SERVICE_SERVING_TELEMETRY_H_
 
 #include <atomic>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -160,6 +161,18 @@ struct ServiceStats {
 /// Thread-safe accumulator behind MalivaService::Stats().
 class ServingTelemetry {
  public:
+  /// Wall ms to integer ns for the latency accumulator, rounded to the
+  /// nearest nanosecond and clamped: NaN and negative inputs (a clock that
+  /// stepped backwards must not wrap the counter by ~2^64) account as 0,
+  /// and values beyond the representable range saturate instead of
+  /// overflowing the double->uint64 cast (UB).
+  static uint64_t WallMsToNs(double wall_ms) {
+    if (!(wall_ms > 0.0)) return 0;  // negatives and NaN clamp to zero
+    const double ns = wall_ms * 1e6;
+    if (ns >= 9.2e18) return UINT64_MAX;  // below 2^63, llround stays defined
+    return static_cast<uint64_t>(std::llround(ns));
+  }
+
   void RecordServed(uint64_t collected, uint64_t shared_hits, uint64_t published,
                     uint64_t histogram_hits, uint64_t probes,
                     bool exact_fallback, double wall_ms) {
@@ -170,7 +183,7 @@ class ServingTelemetry {
     histogram_hits_.fetch_add(histogram_hits, std::memory_order_relaxed);
     probes_.fetch_add(probes, std::memory_order_relaxed);
     if (exact_fallback) fallbacks_.fetch_add(1, std::memory_order_relaxed);
-    wall_ns_.fetch_add(static_cast<uint64_t>(wall_ms * 1e6), std::memory_order_relaxed);
+    wall_ns_.fetch_add(WallMsToNs(wall_ms), std::memory_order_relaxed);
   }
 
   /// A request answered from the rewrite-result cache: count the request
@@ -180,13 +193,13 @@ class ServingTelemetry {
   void RecordServedCached(bool exact_fallback, double wall_ms) {
     requests_.fetch_add(1, std::memory_order_relaxed);
     if (exact_fallback) fallbacks_.fetch_add(1, std::memory_order_relaxed);
-    wall_ns_.fetch_add(static_cast<uint64_t>(wall_ms * 1e6), std::memory_order_relaxed);
+    wall_ns_.fetch_add(WallMsToNs(wall_ms), std::memory_order_relaxed);
   }
 
   void RecordError(double wall_ms) {
     requests_.fetch_add(1, std::memory_order_relaxed);
     errors_.fetch_add(1, std::memory_order_relaxed);
-    wall_ns_.fetch_add(static_cast<uint64_t>(wall_ms * 1e6), std::memory_order_relaxed);
+    wall_ns_.fetch_add(WallMsToNs(wall_ms), std::memory_order_relaxed);
   }
 
   /// Counter part of the snapshot; the service layers the store fields on top.

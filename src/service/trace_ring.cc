@@ -1,0 +1,146 @@
+#include "service/trace_ring.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace maliva {
+
+namespace {
+
+/// Minimal JSON string escaping for the scenario/verdict/cache fields.
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TraceEvent::ToJson() const {
+  char buf[256];
+  std::string out;
+  out.reserve(256);
+  snprintf(buf, sizeof(buf), "{\"seq\": %llu, \"fingerprint\": \"%016llx\", ",
+           static_cast<unsigned long long>(seq),
+           static_cast<unsigned long long>(fingerprint));
+  out += buf;
+  out += "\"scenario\": \"" + EscapeJson(scenario) + "\", \"verdict\": \"" +
+         EscapeJson(verdict) + "\", \"cache\": \"" + EscapeJson(cache) + "\", ";
+  snprintf(buf, sizeof(buf),
+           "\"tier_hits\": [%llu, %llu, %llu], \"snapshot_version\": %llu, "
+           "\"queue_wait_ms\": %.3f, \"serve_ms\": %.3f}",
+           static_cast<unsigned long long>(tier_hits[0]),
+           static_cast<unsigned long long>(tier_hits[1]),
+           static_cast<unsigned long long>(tier_hits[2]),
+           static_cast<unsigned long long>(snapshot_version), queue_wait_ms,
+           serve_ms);
+  out += buf;
+  return out;
+}
+
+TraceRing::TraceRing(size_t capacity, size_t stripes) {
+  if (capacity == 0) capacity = 1;
+  if (stripes == 0) stripes = 1;
+  if (stripes > capacity) stripes = capacity;
+  per_stripe_ = capacity / stripes;
+  stripes_.reserve(stripes);
+  for (size_t i = 0; i < stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+    stripes_.back()->events.reserve(per_stripe_);
+  }
+}
+
+void TraceRing::Append(TraceEvent event) {
+  event.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  Stripe& stripe = *stripes_[event.seq % stripes_.size()];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  if (stripe.events.size() < per_stripe_) {
+    stripe.events.push_back(std::move(event));
+    return;
+  }
+  stripe.events[stripe.next] = std::move(event);
+  stripe.next = (stripe.next + 1) % per_stripe_;
+}
+
+std::vector<TraceEvent> TraceRing::SnapshotEvents() const {
+  std::vector<TraceEvent> out;
+  out.reserve(capacity());
+  for (const std::unique_ptr<Stripe>& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mutex);
+    out.insert(out.end(), stripe->events.begin(), stripe->events.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) { return a.seq < b.seq; });
+  return out;
+}
+
+std::string TraceRing::ExportJsonLines() const {
+  std::string out;
+  for (const TraceEvent& event : SnapshotEvents()) {
+    out += event.ToJson();
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<SloStatus> SloWatchdog::Evaluate(
+    const std::vector<MetricsFlusher::Window>& windows) const {
+  // Accumulate the newest window_count windows' admission verdicts per
+  // scenario. Served = admitted + degraded (the request got an answer);
+  // everything else the gate recorded is a miss of the deadline budget.
+  const size_t take = std::min(config_.window_count, windows.size());
+  struct Tally {
+    uint64_t served = 0;
+    uint64_t total = 0;
+  };
+  std::map<std::string, Tally> by_scenario;
+  for (size_t w = windows.size() - take; w < windows.size(); ++w) {
+    for (const MetricsSnapshot::CounterRow& row : windows[w].delta.counters) {
+      if (row.name != "maliva_admission_total") continue;
+      const std::string* scenario = nullptr;
+      const std::string* verdict = nullptr;
+      for (const auto& [k, v] : row.labels) {
+        if (k == "scenario") scenario = &v;
+        if (k == "verdict") verdict = &v;
+      }
+      if (scenario == nullptr || verdict == nullptr) continue;
+      Tally& tally = by_scenario[*scenario];
+      tally.total += row.value;
+      if (*verdict == "admitted" || *verdict == "degraded") tally.served += row.value;
+    }
+  }
+
+  std::vector<SloStatus> out;
+  out.reserve(by_scenario.size());
+  for (const auto& [scenario, tally] : by_scenario) {
+    SloStatus status;
+    status.scenario = scenario;
+    status.served = tally.served;
+    status.total = tally.total;
+    status.hit_rate = tally.total == 0 ? 1.0
+                                       : static_cast<double>(tally.served) /
+                                             static_cast<double>(tally.total);
+    status.breached = tally.total >= config_.min_requests &&
+                      status.hit_rate < config_.target_hit_rate;
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+}  // namespace maliva
